@@ -1,0 +1,282 @@
+//! The CFL-Match family (Bi et al., SIGMOD'16): a *candidate space* (CS)
+//! built by fixpoint refinement, then backtracking restricted to it.
+//!
+//! A data vertex survives in `CS(u)` only while, for every pattern
+//! neighbor `w` of `u`, it has a data neighbor in `CS(w)` reachable over
+//! an edge of the right direction and label. Iterating this to a fixpoint
+//! is the strongest of the classic static filters (strictly stronger than
+//! LDF/NLF); CFL-Match additionally orders the core before the forest,
+//! which we approximate by matching higher-degree pattern vertices first
+//! within the RI rules. The engine-relevant contrast to CSCE: the CS is
+//! *global* and static, while CCSR+SCE retrieve and reuse candidates
+//! per partial embedding.
+
+use crate::common::{earlier_neighbors, ldf, pair_consistent, ri_order, Deadline};
+use crate::{Baseline, BaselineResult};
+use csce_graph::pattern::{code_subset, pair_code};
+use csce_graph::{Graph, Variant, VertexId};
+use std::time::{Duration, Instant};
+
+/// CFL-style candidate-space matcher.
+pub struct CflCandidateSpace;
+
+/// Build the refined candidate space: `cs[u]` is the sorted surviving
+/// candidate list of pattern vertex `u`.
+pub fn build_candidate_space(g: &Graph, p: &Graph, variant: Variant) -> Vec<Vec<VertexId>> {
+    let n = p.n();
+    let mut cs: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|u| (0..g.n() as VertexId).filter(|&v| ldf(g, p, u, v, variant)).collect())
+        .collect();
+    let mut in_cs: Vec<Vec<bool>> = cs
+        .iter()
+        .map(|list| {
+            let mut flags = vec![false; g.n()];
+            for &v in list {
+                flags[v as usize] = true;
+            }
+            flags
+        })
+        .collect();
+    // Fixpoint refinement.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..n as VertexId {
+            let mut kept = Vec::with_capacity(cs[u as usize].len());
+            'cands: for &v in &cs[u as usize] {
+                // Every pattern edge incident to u must have a supporting
+                // data edge from v into the neighbor's current CS.
+                for e in p.edges() {
+                    let (w, fwd) = if e.src == u {
+                        (e.dst, true)
+                    } else if e.dst == u {
+                        (e.src, false)
+                    } else {
+                        continue;
+                    };
+                    let supported = g.adj(v).iter().any(|a| {
+                        a.elabel == e.label
+                            && in_cs[w as usize][a.nbr as usize]
+                            && match (e.directed, fwd) {
+                                (true, true) => a.orient == csce_graph::Orient::Out,
+                                (true, false) => a.orient == csce_graph::Orient::In,
+                                (false, _) => a.orient == csce_graph::Orient::Und,
+                            }
+                    });
+                    if !supported {
+                        in_cs[u as usize][v as usize] = false;
+                        changed = true;
+                        continue 'cands;
+                    }
+                }
+                kept.push(v);
+            }
+            cs[u as usize] = kept;
+        }
+    }
+    cs
+}
+
+impl Baseline for CflCandidateSpace {
+    fn name(&self) -> &'static str {
+        "CFL-CS"
+    }
+
+    fn supports(&self, _g: &Graph, _p: &Graph, _variant: Variant) -> bool {
+        true
+    }
+
+    fn count(
+        &self,
+        g: &Graph,
+        p: &Graph,
+        variant: Variant,
+        time_limit: Option<Duration>,
+    ) -> BaselineResult {
+        let start = Instant::now();
+        let cs = build_candidate_space(g, p, variant);
+        let order = ri_order(p);
+        let earlier: Vec<Vec<VertexId>> =
+            (0..order.len()).map(|k| earlier_neighbors(p, &order, k)).collect();
+        let mut state = State {
+            g,
+            p,
+            variant,
+            order: &order,
+            earlier: &earlier,
+            cs: &cs,
+            f: vec![VertexId::MAX; p.n()],
+            used: vec![false; g.n()],
+            count: 0,
+            deadline: Deadline::new(time_limit),
+        };
+        state.descend(0);
+        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+    }
+}
+
+struct State<'a> {
+    g: &'a Graph,
+    p: &'a Graph,
+    variant: Variant,
+    order: &'a [VertexId],
+    earlier: &'a [Vec<VertexId>],
+    cs: &'a [Vec<VertexId>],
+    f: Vec<VertexId>,
+    used: Vec<bool>,
+    count: u64,
+    deadline: Deadline,
+}
+
+impl<'a> State<'a> {
+    fn descend(&mut self, depth: usize) {
+        if depth == self.order.len() {
+            self.count += 1;
+            return;
+        }
+        if self.deadline.check() {
+            return;
+        }
+        let u = self.order[depth];
+        // Candidates: CS(u), narrowed to the first matched neighbor's data
+        // neighborhood when one exists.
+        let candidates: Vec<VertexId> = match self.earlier[depth].first() {
+            Some(&w) => {
+                let x = self.f[w as usize];
+                let pcode = pair_code(self.p, w, u);
+                let mut c: Vec<VertexId> = self
+                    .g
+                    .adj(x)
+                    .iter()
+                    .map(|a| a.nbr)
+                    .filter(|&v| {
+                        self.cs[u as usize].binary_search(&v).is_ok()
+                            && code_subset(&pcode, &pair_code(self.g, x, v))
+                    })
+                    .collect();
+                c.dedup();
+                c
+            }
+            None => self.cs[u as usize].clone(),
+        };
+        'cands: for v in candidates {
+            if self.variant.injective() && self.used[v as usize] {
+                continue;
+            }
+            for k in 0..depth {
+                let w = self.order[k];
+                let relevant =
+                    self.variant == Variant::VertexInduced || self.p.connected(w, u);
+                if relevant
+                    && !pair_consistent(self.g, self.p, self.variant, u, v, w, self.f[w as usize])
+                {
+                    continue 'cands;
+                }
+            }
+            self.f[u as usize] = v;
+            if self.variant.injective() {
+                self.used[v as usize] = true;
+            }
+            self.descend(depth + 1);
+            if self.variant.injective() {
+                self.used[v as usize] = false;
+            }
+            self.f[u as usize] = VertexId::MAX;
+            if self.deadline.fired {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::{oracle_count, GraphBuilder, NO_LABEL};
+
+    fn data() -> Graph {
+        let mut b = GraphBuilder::new();
+        for l in [0u32, 1, 0, 1, 2] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (2, 1), (2, 3), (1, 4)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.add_undirected_edge(0, 3, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn refinement_prunes_unsupported_candidates() {
+        let g = data();
+        // Pattern: (0) -> (1) -> (2): only v1 has an outgoing edge into a
+        // label-2 vertex, so CS(u1) = {v1} and CS(u0) = {v0, v2}.
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(0);
+        pb.add_vertex(1);
+        pb.add_vertex(2);
+        pb.add_edge(0, 1, NO_LABEL).unwrap();
+        pb.add_edge(1, 2, NO_LABEL).unwrap();
+        let p = pb.build();
+        let cs = build_candidate_space(&g, &p, Variant::EdgeInduced);
+        assert_eq!(cs[0], vec![0, 2]);
+        assert_eq!(cs[1], vec![1]);
+        assert_eq!(cs[2], vec![4]);
+    }
+
+    #[test]
+    fn refinement_can_empty_out() {
+        let g = data();
+        // Label 2 vertices have no outgoing edges: CS collapses to empty.
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(2);
+        pb.add_vertex(0);
+        pb.add_edge(0, 1, NO_LABEL).unwrap();
+        let p = pb.build();
+        let cs = build_candidate_space(&g, &p, Variant::EdgeInduced);
+        assert!(cs[0].is_empty());
+        assert!(cs[1].is_empty(), "emptiness propagates through refinement");
+    }
+
+    #[test]
+    fn counts_match_oracle_all_variants() {
+        let g = data();
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(0);
+        pb.add_vertex(1);
+        pb.add_vertex(2);
+        pb.add_edge(0, 1, NO_LABEL).unwrap();
+        pb.add_edge(1, 2, NO_LABEL).unwrap();
+        let p = pb.build();
+        for variant in Variant::ALL {
+            assert_eq!(
+                CflCandidateSpace.count(&g, &p, variant, None).count,
+                oracle_count(&g, &p, variant),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn unlabeled_undirected_exactness() {
+        let mut gb = GraphBuilder::new();
+        gb.add_unlabeled_vertices(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)] {
+            gb.add_undirected_edge(a, b, NO_LABEL).unwrap();
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            pb.add_undirected_edge(a, b, NO_LABEL).unwrap();
+        }
+        let p = pb.build();
+        for variant in Variant::ALL {
+            assert_eq!(
+                CflCandidateSpace.count(&g, &p, variant, None).count,
+                oracle_count(&g, &p, variant),
+                "{variant}"
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The RI family (Bonnici et al.): Greatest-Constraint-First ordering and
+//! plain adjacency backtracking with pairwise consistency checks. No
+//! candidate indexing, no equivalence reuse — the simplest competitive
+//! baseline, and the heuristic family the paper builds GCF on.
+
+use crate::common::{earlier_neighbors, ldf, pair_consistent, ri_order, Deadline};
+use crate::{Baseline, BaselineResult};
+use csce_graph::{Graph, Variant, VertexId};
+use std::time::{Duration, Instant};
+
+/// RI-style backtracking matcher. Supports every variant and graph type
+/// (our reimplementation extends the original's scope so it can serve as
+/// a universal reference in tests).
+pub struct RiBacktracking;
+
+impl Baseline for RiBacktracking {
+    fn name(&self) -> &'static str {
+        "RI"
+    }
+
+    fn supports(&self, _g: &Graph, _p: &Graph, _variant: Variant) -> bool {
+        true
+    }
+
+    fn count(
+        &self,
+        g: &Graph,
+        p: &Graph,
+        variant: Variant,
+        time_limit: Option<Duration>,
+    ) -> BaselineResult {
+        let start = Instant::now();
+        let order = ri_order(p);
+        let earlier: Vec<Vec<VertexId>> =
+            (0..order.len()).map(|k| earlier_neighbors(p, &order, k)).collect();
+        // For vertex-induced matching every earlier vertex must be checked
+        // (absence of edges matters), not just neighbors.
+        let mut state = State {
+            g,
+            p,
+            variant,
+            order: &order,
+            earlier: &earlier,
+            f: vec![VertexId::MAX; p.n()],
+            used: vec![false; g.n()],
+            count: 0,
+            deadline: Deadline::new(time_limit),
+        };
+        state.descend(0);
+        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+    }
+}
+
+struct State<'a> {
+    g: &'a Graph,
+    p: &'a Graph,
+    variant: Variant,
+    order: &'a [VertexId],
+    earlier: &'a [Vec<VertexId>],
+    f: Vec<VertexId>,
+    used: Vec<bool>,
+    count: u64,
+    deadline: Deadline,
+}
+
+impl<'a> State<'a> {
+    fn descend(&mut self, depth: usize) {
+        if depth == self.order.len() {
+            self.count += 1;
+            return;
+        }
+        if self.deadline.check() {
+            return;
+        }
+        let u = self.order[depth];
+        // Candidate generation: neighbors of the first matched pattern
+        // neighbor's image, or a full label scan for the root.
+        let candidates: Vec<VertexId> = match self.earlier[depth].first() {
+            Some(&w) => {
+                let x = self.f[w as usize];
+                let mut c: Vec<VertexId> = self.g.adj(x).iter().map(|a| a.nbr).collect();
+                c.dedup();
+                c
+            }
+            None => (0..self.g.n() as VertexId).collect(),
+        };
+        'cands: for v in candidates {
+            if self.variant.injective() && self.used[v as usize] {
+                continue;
+            }
+            if !ldf(self.g, self.p, u, v, self.variant) {
+                continue;
+            }
+            // Pairwise checks: edges to earlier neighbors; vertex-induced
+            // additionally checks earlier non-neighbors for absence.
+            for k in 0..depth {
+                let w = self.order[k];
+                let relevant = self.variant == Variant::VertexInduced
+                    || self.p.connected(w, u);
+                if relevant
+                    && !pair_consistent(self.g, self.p, self.variant, u, v, w, self.f[w as usize])
+                {
+                    continue 'cands;
+                }
+            }
+            self.f[u as usize] = v;
+            if self.variant.injective() {
+                self.used[v as usize] = true;
+            }
+            self.descend(depth + 1);
+            if self.variant.injective() {
+                self.used[v as usize] = false;
+            }
+            self.f[u as usize] = VertexId::MAX;
+            if self.deadline.fired {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::{oracle_count, GraphBuilder, NO_LABEL};
+
+    fn paw() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_undirected_edge(a, c, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn matches_oracle_on_all_variants() {
+        let g = paw();
+        let p = path3();
+        for variant in Variant::ALL {
+            let r = RiBacktracking.count(&g, &p, variant, None);
+            assert_eq!(r.count, oracle_count(&g, &p, variant), "{variant}");
+            assert!(!r.timed_out);
+        }
+    }
+
+    #[test]
+    fn directed_labeled_graphs() {
+        let mut gb = GraphBuilder::new();
+        gb.add_vertex(0);
+        gb.add_vertex(1);
+        gb.add_vertex(1);
+        gb.add_edge(0, 1, 5).unwrap();
+        gb.add_edge(0, 2, 5).unwrap();
+        gb.add_edge(1, 2, 6).unwrap();
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(0);
+        pb.add_vertex(1);
+        pb.add_edge(0, 1, 5).unwrap();
+        let p = pb.build();
+        for variant in Variant::ALL {
+            assert_eq!(
+                RiBacktracking.count(&g, &p, variant, None).count,
+                oracle_count(&g, &p, variant),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn honors_time_limit() {
+        // A clique-on-clique homomorphic count explodes; zero budget must
+        // stop it immediately.
+        let mut gb = GraphBuilder::new();
+        gb.add_unlabeled_vertices(10);
+        for i in 0..10u32 {
+            for j in i + 1..10 {
+                gb.add_undirected_edge(i, j, NO_LABEL).unwrap();
+            }
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(8);
+        for i in 0..7u32 {
+            pb.add_undirected_edge(i, i + 1, NO_LABEL).unwrap();
+        }
+        let p = pb.build();
+        let r = RiBacktracking.count(&g, &p, Variant::Homomorphic, Some(Duration::ZERO));
+        assert!(r.timed_out);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion micro-bench: offline CCSR construction (clustering +
+//! compression) and persistence, across graph shapes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csce_ccsr::{build_ccsr, persist};
+use csce_graph::generate::{chung_lu, road_grid};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccsr_build");
+    let power_law = chung_lu(5_000, 22_000, 2.5, 20, 0, false, 1);
+    group.bench_function("power_law_22k_edges_20_labels", |b| {
+        b.iter(|| build_ccsr(std::hint::black_box(&power_law)))
+    });
+    let unlabeled = road_grid(80, 80, 0.7, 2);
+    group.bench_function("road_9k_edges_unlabeled", |b| {
+        b.iter(|| build_ccsr(std::hint::black_box(&unlabeled)))
+    });
+    let many_labels = chung_lu(5_000, 22_000, 2.5, 500, 0, false, 3);
+    group.bench_function("power_law_22k_edges_500_labels", |b| {
+        b.iter(|| build_ccsr(std::hint::black_box(&many_labels)))
+    });
+    group.finish();
+}
+
+fn bench_persist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccsr_persist");
+    let g = chung_lu(5_000, 22_000, 2.5, 20, 0, false, 1);
+    let gc = build_ccsr(&g);
+    group.bench_function("encode", |b| b.iter(|| persist::to_bytes(std::hint::black_box(&gc))));
+    let bytes = persist::to_bytes(&gc);
+    group.bench_function("decode", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| persist::from_bytes(&bytes).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_persist);
+criterion_main!(benches);

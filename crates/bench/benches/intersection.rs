@@ -1,0 +1,72 @@
+//! Criterion micro-bench: the sorted-set kernels every candidate
+//! computation runs on — merge vs galloping intersection, subtraction,
+//! and CSR row lookup vs adjacency-list binary search (the §IV
+//! data-structure comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csce_ccsr::Csr;
+use csce_graph::util::{intersect_sorted, subtract_sorted};
+
+fn make_sorted(n: usize, stride: u32, offset: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| i * stride + offset).collect()
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    let a = make_sorted(1_000, 7, 0);
+    let b = make_sorted(1_000, 11, 3);
+    group.bench_function("balanced_1k_x_1k", |bench| {
+        let mut out = Vec::new();
+        bench.iter(|| {
+            intersect_sorted(std::hint::black_box(&a), std::hint::black_box(&b), &mut out)
+        })
+    });
+    let small = make_sorted(32, 997, 5);
+    let large = make_sorted(100_000, 1, 0);
+    group.bench_function("galloping_32_x_100k", |bench| {
+        let mut out = Vec::new();
+        bench.iter(|| {
+            intersect_sorted(std::hint::black_box(&small), std::hint::black_box(&large), &mut out)
+        })
+    });
+    group.bench_function("subtract_1k_minus_1k", |bench| {
+        bench.iter(|| {
+            let mut x = a.clone();
+            subtract_sorted(&mut x, std::hint::black_box(&b));
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_row_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_lookup");
+    // One CSR over 100k vertices with ~500k arcs.
+    let pairs: Vec<(u32, u32)> =
+        (0..500_000u32).map(|i| (i % 100_000, i.wrapping_mul(2654435761) % 100_000)).collect();
+    let csr = Csr::from_pairs(100_000, pairs);
+    group.bench_function("csr_row_access_constant_time", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in (0..100_000u32).step_by(97) {
+                acc += csr.row(std::hint::black_box(v)).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("csr_contains_binary_search", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for v in (0..100_000u32).step_by(97) {
+                if csr.contains(v, std::hint::black_box(v / 2)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect, bench_row_lookup);
+criterion_main!(benches);

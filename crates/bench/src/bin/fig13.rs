@@ -1,0 +1,62 @@
+//! Fig. 13: query-plan quality — the same executor run under different
+//! plans on the Patent-like graph: plain RI rules, RI + CCSR cluster
+//! tie-breaks, and full CSCE (clusters + LDSF over the dependency DAG),
+//! against the RapidMatch-family baseline (FSP-BT) as the external
+//! reference. Reproduces Finding 13: clusters and SCE both improve the
+//! plan.
+
+use csce_baselines::fsp::FailingSetBacktracking;
+use csce_baselines::Baseline;
+use csce_bench::{BenchContext, Table};
+use csce_core::{PlannerConfig, RunConfig};
+use csce_datasets::{presets, sample_suite};
+use csce_graph::{Density, Variant};
+use std::time::Duration;
+
+fn main() {
+    let limit = Duration::from_secs(
+        std::env::var("CSCE_TIME_LIMIT").ok().and_then(|s| s.parse().ok()).unwrap_or(10),
+    );
+    let repeats: usize =
+        std::env::var("CSCE_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ds = presets::patent();
+    println!("Fig. 13 — plan quality on {} ({}), edge-induced\n", ds.name, ds.stats());
+    let ctx = BenchContext::new(ds.name, ds.graph);
+    let suites = sample_suite(&ctx.graph, &[8, 16, 32], &[Density::Dense, Density::Sparse], repeats, 0xF13);
+
+    let plans: [(&str, PlannerConfig); 3] = [
+        ("RI", PlannerConfig::ri_only()),
+        ("RI+Cluster", PlannerConfig::ri_cluster()),
+        ("CSCE", PlannerConfig::csce()),
+    ];
+    let mut t = Table::new(&["pattern", "RM(FSP)", "RI", "RI+Cluster", "CSCE"]);
+    for suite in &suites {
+        if suite.patterns.is_empty() {
+            continue;
+        }
+        let mut cells = vec![suite.name.clone()];
+        // External reference: the RapidMatch-family backtracker.
+        let mut rm = 0.0f64;
+        for p in &suite.patterns {
+            let r = FailingSetBacktracking.count(&ctx.graph, p, Variant::EdgeInduced, Some(limit));
+            rm += if r.timed_out { limit.as_secs_f64() } else { r.elapsed.as_secs_f64() };
+        }
+        cells.push(format!("{:.3}s", rm / suite.patterns.len() as f64));
+        for (_, config) in &plans {
+            let mut secs = 0.0f64;
+            for p in &suite.patterns {
+                let run = RunConfig { time_limit: Some(limit), ..Default::default() };
+                let out = ctx.engine.run(p, Variant::EdgeInduced, *config, run);
+                secs += if out.stats.timed_out {
+                    limit.as_secs_f64()
+                } else {
+                    out.total_time().as_secs_f64()
+                };
+            }
+            cells.push(format!("{:.3}s", secs / suite.patterns.len() as f64));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!("\nExpected shape (paper): CSCE <= RI+Cluster <= RI, and CSCE beats RM.");
+}

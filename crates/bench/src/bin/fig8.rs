@@ -1,0 +1,62 @@
+//! Fig. 8: edge-induced throughput (embeddings per second of total time)
+//! on the RoadCA-like graph, per pattern size, for every algorithm.
+//! Reproduces Finding 8: throughput decreases with pattern size and CSCE
+//! stays on top.
+
+use csce_bench::{run_all, BenchContext, Table};
+use csce_datasets::{presets, sample_suite};
+use csce_graph::{Density, Variant};
+use std::time::Duration;
+
+fn main() {
+    let limit = Duration::from_secs(
+        std::env::var("CSCE_TIME_LIMIT").ok().and_then(|s| s.parse().ok()).unwrap_or(10),
+    );
+    let repeats: usize =
+        std::env::var("CSCE_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let ds = presets::roadca();
+    println!("Fig. 8 — edge-induced throughput on {} ({})\n", ds.name, ds.stats());
+    let ctx = BenchContext::new(ds.name, ds.graph);
+    let suites = sample_suite(&ctx.graph, &[8, 16, 24, 32], &[Density::Sparse], repeats, 0xF18);
+
+    let mut algo_names: Vec<&'static str> = Vec::new();
+    let mut rows = Vec::new();
+    for suite in &suites {
+        if suite.patterns.is_empty() {
+            continue;
+        }
+        let mut acc: Vec<(&'static str, u64, f64)> = Vec::new();
+        for p in &suite.patterns {
+            for r in run_all(&ctx, p, Variant::EdgeInduced, limit) {
+                match acc.iter_mut().find(|(n, _, _)| *n == r.name) {
+                    Some((_, c, s)) => {
+                        *c += r.count;
+                        *s += r.seconds;
+                    }
+                    None => acc.push((r.name, r.count, r.seconds)),
+                }
+            }
+        }
+        if algo_names.is_empty() {
+            algo_names = acc.iter().map(|(n, _, _)| *n).collect();
+        }
+        let mut row = vec![suite.size.to_string()];
+        for &name in &algo_names {
+            match acc.iter().find(|(n, _, _)| *n == name) {
+                Some((_, count, secs)) if *secs > 0.0 => {
+                    row.push(format!("{:.0}", *count as f64 / secs));
+                }
+                _ => row.push("-".into()),
+            }
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["size"];
+    header.extend(algo_names.iter().copied());
+    let mut t = Table::new(&header);
+    for row in rows {
+        t.row(row);
+    }
+    t.print();
+    println!("\nExpected shape (paper): throughput falls as size grows; CSCE highest.");
+}

@@ -1,0 +1,30 @@
+//! Table II: the paper's survey of maximum pattern sizes tested by
+//! recent subgraph-matching systems. Static literature data, reproduced
+//! verbatim for completeness (the split motivates the paper's focus on
+//! 8+-vertex patterns).
+
+use csce_bench::Table;
+
+fn main() {
+    println!("Table II — max pattern sizes tested in existing works (paper survey)\n");
+    let mut t = Table::new(&["Group", "Systems (max tested pattern size)"]);
+    t.row(vec![
+        "8 or more".into(),
+        "CFQL(32), CECI(50), Circinus(16), DAF(200), GSI(15), G-Morph(9), GuP(32), \
+         RapidMatch(32), VC(128), VEQ(200)"
+            .into(),
+    ]);
+    t.row(vec![
+        "7 or fewer".into(),
+        "AutoMine, BENU, CliqueJoin++, cuTS, Dryadic, EdgeFrame, FlexMiner, Fractal, \
+         GF, GraphPi, GraphWCOJ, GraphZero, HUGE, LIGHT, Pangolin, Peregrine, RADS, \
+         SandSlash, STMatch, SumPA, Timely"
+            .into(),
+    ]);
+    t.print();
+    println!(
+        "\n21 systems stop at 7-vertex patterns; only 10 reach 8+ — the gap CSCE\n\
+         targets. This repository's CSCE handles patterns up to 2000 vertices\n\
+         (see fig10)."
+    );
+}

@@ -1,0 +1,18 @@
+//! # csce-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§VII). Each `src/bin/figN.rs` / `tableN.rs` binary
+//! prints the rows or series of one exhibit; `benches/` holds Criterion
+//! micro-benchmarks of the hot paths and the design-choice ablations.
+//!
+//! This library provides the shared machinery: a peak-tracking global
+//! allocator (the paper reports peak RAM), aligned table printing, and a
+//! uniform sweep runner over CSCE plus every applicable baseline.
+
+pub mod alloc;
+pub mod runner;
+pub mod table;
+
+pub use alloc::TrackingAllocator;
+pub use runner::{geometric_mean, run_all, run_csce, AlgoResult, BenchContext, TIME_LIMIT};
+pub use table::Table;

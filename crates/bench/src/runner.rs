@@ -1,0 +1,135 @@
+//! The uniform sweep runner: CSCE plus every applicable baseline on one
+//! task, with the paper's time-limit convention (a failed run is recorded
+//! at the limit, §VII "Metric").
+
+use csce_baselines::all_baselines;
+use csce_core::{Engine, PlannerConfig, RunConfig};
+use csce_graph::{Graph, Variant};
+use std::time::Duration;
+
+/// The harness-wide time limit per (algorithm, pattern) run. The paper
+/// uses 10^4 s; scaled with our graphs so full sweeps finish.
+pub const TIME_LIMIT: Duration = Duration::from_secs(10);
+
+/// One algorithm's outcome on one task.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    pub name: &'static str,
+    pub seconds: f64,
+    pub count: u64,
+    pub timed_out: bool,
+}
+
+/// A data graph together with its prebuilt CCSR engine (the offline stage
+/// is shared across all patterns, as in the paper's workflow).
+pub struct BenchContext {
+    pub name: &'static str,
+    pub graph: Graph,
+    pub engine: Engine,
+}
+
+impl BenchContext {
+    pub fn new(name: &'static str, graph: Graph) -> BenchContext {
+        let engine = Engine::build(&graph);
+        BenchContext { name, graph, engine }
+    }
+}
+
+/// Run CSCE and every baseline that supports the task; failed runs are
+/// clamped to the time limit per the paper's convention.
+pub fn run_all(
+    ctx: &BenchContext,
+    pattern: &Graph,
+    variant: Variant,
+    time_limit: Duration,
+) -> Vec<AlgoResult> {
+    let mut out = Vec::new();
+    out.push(run_csce(ctx, pattern, variant, time_limit));
+    for baseline in all_baselines() {
+        if !baseline.supports(&ctx.graph, pattern, variant) {
+            continue;
+        }
+        let r = baseline.count(&ctx.graph, pattern, variant, Some(time_limit));
+        out.push(AlgoResult {
+            name: baseline.name(),
+            seconds: if r.timed_out { time_limit.as_secs_f64() } else { r.elapsed.as_secs_f64() },
+            count: r.count,
+            timed_out: r.timed_out,
+        });
+    }
+    out
+}
+
+/// Run CSCE alone.
+pub fn run_csce(
+    ctx: &BenchContext,
+    pattern: &Graph,
+    variant: Variant,
+    time_limit: Duration,
+) -> AlgoResult {
+    let run = RunConfig { time_limit: Some(time_limit), ..RunConfig::default() };
+    let out = ctx.engine.run(pattern, variant, PlannerConfig::csce(), run);
+    AlgoResult {
+        name: "CSCE",
+        seconds: if out.stats.timed_out {
+            time_limit.as_secs_f64()
+        } else {
+            out.total_time().as_secs_f64()
+        },
+        count: out.count,
+        timed_out: out.stats.timed_out,
+    }
+}
+
+/// Geometric mean, the usual summary for ratio-style speedups.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    fn tiny_ctx() -> BenchContext {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(5);
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        BenchContext::new("tiny", b.build())
+    }
+
+    fn wedge() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn all_applicable_algorithms_agree() {
+        let ctx = tiny_ctx();
+        let p = wedge();
+        for variant in Variant::ALL {
+            let results = run_all(&ctx, &p, variant, Duration::from_secs(5));
+            assert!(results.len() >= 2, "{variant}: CSCE plus baselines");
+            let expected = results[0].count;
+            for r in &results {
+                assert!(!r.timed_out, "{} timed out", r.name);
+                assert_eq!(r.count, expected, "{} disagrees under {variant}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

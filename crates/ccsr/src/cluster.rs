@@ -1,0 +1,157 @@
+//! Cluster storage: the compressed on-disk/offline form and the decoded
+//! in-memory form used during matching.
+
+use crate::compress::CompressedCsr;
+use crate::csr::Csr;
+use crate::key::ClusterKey;
+use csce_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// One edge-isomorphism cluster in compressed (offline) form.
+///
+/// Directed clusters store two CSRs so both outgoing and incoming
+/// neighbors can be found; undirected clusters store one CSR containing
+/// each edge from both endpoints (§IV). Either way each edge of `G`
+/// appears exactly twice in exactly one cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cluster {
+    pub key: ClusterKey,
+    /// Outgoing CSR (for undirected clusters: the single CSR).
+    pub out: CompressedCsr,
+    /// Incoming CSR; present only for directed clusters.
+    pub inc: Option<CompressedCsr>,
+}
+
+impl Cluster {
+    /// Number of data edges in this cluster.
+    pub fn edge_count(&self) -> usize {
+        if self.key.directed {
+            self.out.arc_count()
+        } else {
+            self.out.arc_count() / 2
+        }
+    }
+
+    /// Decompress to standard CSRs for query processing.
+    pub fn decode(&self) -> DecodedCluster {
+        DecodedCluster {
+            key: self.key,
+            out: self.out.decompress(),
+            inc: self.inc.as_ref().map(|c| c.decompress()),
+        }
+    }
+
+    /// Approximate heap footprint in bytes of the compressed form.
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes() + self.inc.as_ref().map_or(0, |c| c.heap_bytes())
+    }
+}
+
+/// A decompressed cluster: standard CSRs with O(1) row lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedCluster {
+    pub key: ClusterKey,
+    pub out: Csr,
+    pub inc: Option<Csr>,
+}
+
+impl DecodedCluster {
+    /// Neighbors along the edge direction from `v` (for undirected
+    /// clusters this is simply `v`'s neighbors).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[u32] {
+        self.out.row(v)
+    }
+
+    /// Neighbors against the edge direction into `v` (undirected clusters
+    /// answer from the single CSR).
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[u32] {
+        match &self.inc {
+            Some(inc) => inc.row(v),
+            None => self.out.row(v),
+        }
+    }
+
+    /// The paper's `|I_C(u_i, u_x)|`: the cluster size used for GCF / LDSF
+    /// tie-breaking.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.out.arc_count()
+    }
+
+    /// Number of data edges (undirected edges stored twice count once).
+    pub fn edge_count(&self) -> usize {
+        if self.key.directed {
+            self.out.arc_count()
+        } else {
+            self.out.arc_count() / 2
+        }
+    }
+
+    /// Whether the arc `v -> w` (or undirected `v — w`) is in the cluster.
+    #[inline]
+    pub fn contains_arc(&self, v: VertexId, w: VertexId) -> bool {
+        self.out.contains(v, w)
+    }
+
+    /// Approximate heap footprint in bytes of the decoded form.
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes() + self.inc.as_ref().map_or(0, |c| c.heap_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::NO_LABEL;
+
+    fn directed_cluster() -> Cluster {
+        // Arcs: 0->1, 0->5, 3->4 over 6 vertices.
+        let out = Csr::from_pairs(6, vec![(0, 1), (0, 5), (3, 4)]);
+        let inc = Csr::from_pairs(6, vec![(1, 0), (5, 0), (4, 3)]);
+        Cluster {
+            key: ClusterKey::directed(0, 1, NO_LABEL),
+            out: CompressedCsr::compress(&out),
+            inc: Some(CompressedCsr::compress(&inc)),
+        }
+    }
+
+    #[test]
+    fn directed_cluster_counts_and_lookup() {
+        let c = directed_cluster();
+        assert_eq!(c.edge_count(), 3);
+        let d = c.decode();
+        assert_eq!(d.out_neighbors(0), &[1, 5]);
+        assert_eq!(d.in_neighbors(5), &[0]);
+        assert_eq!(d.in_neighbors(0), &[] as &[u32]);
+        assert_eq!(d.size(), 3);
+        assert!(d.contains_arc(3, 4));
+        assert!(!d.contains_arc(4, 3));
+    }
+
+    #[test]
+    fn undirected_cluster_serves_both_directions() {
+        // Undirected edges {0,1} and {1,2}: stored as 4 arcs in one CSR.
+        let out = Csr::from_pairs(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let c = Cluster {
+            key: ClusterKey::undirected(0, 0, NO_LABEL),
+            out: CompressedCsr::compress(&out),
+            inc: None,
+        };
+        assert_eq!(c.edge_count(), 2);
+        let d = c.decode();
+        assert_eq!(d.out_neighbors(1), &[0, 2]);
+        assert_eq!(d.in_neighbors(1), &[0, 2]);
+        assert_eq!(d.edge_count(), 2);
+        assert_eq!(d.size(), 4);
+    }
+
+    #[test]
+    fn decode_roundtrips_storage() {
+        let c = directed_cluster();
+        let d = c.decode();
+        assert_eq!(CompressedCsr::compress(&d.out), c.out);
+        assert_eq!(CompressedCsr::compress(d.inc.as_ref().unwrap()), *c.inc.as_ref().unwrap());
+    }
+}

@@ -1,0 +1,150 @@
+//! Run-length compression of CSR row indexes.
+//!
+//! A standard CSR spends `n + 1` integers on `I_R` *per cluster*; with `c`
+//! clusters that is `c (n+1)` even though most rows are empty in most
+//! clusters. The paper instead stores repeated `I_R` values as a
+//! `(value, repeat)` pair, so each edge accounts for at most two `I_R`
+//! integers and the total `I_R` length over all clusters is bounded by
+//! `4|E|` (§IV, space analysis). Clusters are decompressed back into
+//! standard CSRs when read (Algorithm 1).
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// A CSR whose row index is run-length encoded.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressedCsr {
+    /// `(offset value, repeat count)` runs of the `I_R` array.
+    runs: Vec<(u32, u32)>,
+    /// The `I_C` array, unchanged by compression.
+    neighbors: Vec<u32>,
+}
+
+impl CompressedCsr {
+    /// Compress a standard CSR.
+    pub fn compress(csr: &Csr) -> CompressedCsr {
+        let offsets = csr.offsets();
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for &o in offsets {
+            match runs.last_mut() {
+                Some((value, count)) if *value == o => *count += 1,
+                _ => runs.push((o, 1)),
+            }
+        }
+        CompressedCsr { runs, neighbors: csr.neighbors_raw().to_vec() }
+    }
+
+    /// Decompress into a standard CSR (row count is implied by the runs).
+    pub fn decompress(&self) -> Csr {
+        let total: usize = self.runs.iter().map(|&(_, c)| c as usize).sum();
+        let mut offsets = Vec::with_capacity(total);
+        for &(value, count) in &self.runs {
+            offsets.extend(std::iter::repeat_n(value, count as usize));
+        }
+        Csr::from_raw(offsets, self.neighbors.clone())
+    }
+
+    /// Number of stored arcs (`|I_C|`).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Length of the compressed `I_R` representation in integers
+    /// (2 per run). The paper's bound: `compressed_ir_len() <= 4 * arcs`.
+    pub fn compressed_ir_len(&self) -> usize {
+        2 * self.runs.len()
+    }
+
+    /// The raw `(value, repeat)` runs of the compressed `I_R`.
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+
+    /// The raw `I_C` array.
+    pub fn neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Construct from raw parts, validating the invariants: the first
+    /// offset is zero, run values strictly increase, counts are non-zero,
+    /// and the final offset closes exactly over the neighbor array.
+    pub fn from_parts(runs: Vec<(u32, u32)>, neighbors: Vec<u32>) -> Option<CompressedCsr> {
+        if runs.is_empty() || runs[0].0 != 0 {
+            return None;
+        }
+        let mut prev = None::<u32>;
+        for &(value, count) in &runs {
+            if count == 0 || prev.is_some_and(|p| value <= p) {
+                return None;
+            }
+            prev = Some(value);
+        }
+        if runs.last().unwrap().0 as usize != neighbors.len() {
+            return None;
+        }
+        Some(CompressedCsr { runs, neighbors })
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.neighbors.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sparse_cluster() {
+        // Mostly-empty rows compress into few runs.
+        let csr = Csr::from_pairs(1000, vec![(5, 1), (5, 2), (900, 3)]);
+        let c = CompressedCsr::compress(&csr);
+        assert_eq!(c.decompress(), csr);
+        // Runs: 0 x6, 2 x895, 3 x100 => 3 runs, 6 integers.
+        assert_eq!(c.compressed_ir_len(), 6);
+        assert!(c.compressed_ir_len() <= 4 * c.arc_count().max(1));
+    }
+
+    #[test]
+    fn roundtrip_dense_cluster() {
+        let pairs: Vec<(u32, u32)> = (0..50u32).flat_map(|r| [(r, r + 1), (r, r + 2)]).collect();
+        let csr = Csr::from_pairs(53, pairs);
+        let c = CompressedCsr::compress(&csr);
+        assert_eq!(c.decompress(), csr);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let csr = Csr::from_pairs(10, vec![]);
+        let c = CompressedCsr::compress(&csr);
+        assert_eq!(c.decompress(), csr);
+        assert_eq!(c.compressed_ir_len(), 2); // single run of zeros
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Valid: offsets [0,0,2,2] with 2 neighbors.
+        let ok = CompressedCsr::from_parts(vec![(0, 2), (2, 2)], vec![1, 2]);
+        assert!(ok.is_some());
+        assert_eq!(ok.unwrap().decompress().row(1), &[1, 2]);
+        assert!(CompressedCsr::from_parts(vec![], vec![]).is_none());
+        assert!(CompressedCsr::from_parts(vec![(1, 2)], vec![1]).is_none(), "first offset not 0");
+        assert!(CompressedCsr::from_parts(vec![(0, 0)], vec![]).is_none(), "zero count");
+        assert!(CompressedCsr::from_parts(vec![(0, 1), (0, 1)], vec![]).is_none(), "non-increasing");
+        assert!(CompressedCsr::from_parts(vec![(0, 2)], vec![5]).is_none(), "does not close");
+    }
+
+    #[test]
+    fn paper_bound_each_edge_at_most_two_ir_integers() {
+        // Adversarial: every vertex has exactly one arc -> no compression
+        // possible, runs = n + 1 with n = arcs. Bound 2*(n+1) <= 4n holds
+        // for n >= 1.
+        let pairs: Vec<(u32, u32)> = (0..100u32).map(|r| (r, (r + 1) % 100)).collect();
+        let csr = Csr::from_pairs(100, pairs);
+        let c = CompressedCsr::compress(&csr);
+        assert!(c.compressed_ir_len() <= 4 * c.arc_count());
+    }
+}

@@ -1,0 +1,153 @@
+//! Standard (decompressed) compressed sparse row arrays.
+//!
+//! A [`Csr`] is the paper's `(I_R, I_C)` pair: `offsets` is the row index
+//! over all data-graph vertices (length `n + 1`), `neighbors` is the column
+//! index. Neighbor rows are kept sorted so candidate computation can use
+//! sorted-set intersection, and lookup of a vertex's row is O(1) — the
+//! advantage over adjacency lists and sort tries called out in §IV.
+
+use csce_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A standard CSR over `n` vertices.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from per-edge `(row, neighbor)` pairs over `n` vertices.
+    /// Pairs may arrive in any order; rows end up sorted.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(VertexId, VertexId)>) -> Csr {
+        pairs.sort_unstable();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(pairs.len());
+        offsets.push(0);
+        let mut row = 0u32;
+        for (r, c) in pairs {
+            debug_assert!((r as usize) < n, "row out of range");
+            while row < r {
+                offsets.push(neighbors.len() as u32);
+                row += 1;
+            }
+            neighbors.push(c);
+        }
+        while offsets.len() < n + 1 {
+            offsets.push(neighbors.len() as u32);
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Construct directly from raw arrays (used by decompression).
+    pub(crate) fn from_raw(offsets: Vec<u32>, neighbors: Vec<u32>) -> Csr {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `|I_C|` — the number of stored arcs, which is the cluster size.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The sorted neighbor row of vertex `v` (empty if `v` has no arcs in
+    /// this cluster).
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Number of arcs of vertex `v` in this cluster.
+    #[inline]
+    pub fn row_len(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Whether arc `v → w` is stored (binary search).
+    #[inline]
+    pub fn contains(&self, v: VertexId, w: VertexId) -> bool {
+        self.row(v).binary_search(&w).is_ok()
+    }
+
+    /// Vertices with at least one arc, ascending. These are the candidate
+    /// seeds for the first pattern vertex of a plan.
+    pub fn nonempty_rows(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.row_count() as VertexId).filter(move |&v| self.row_len(v) > 0)
+    }
+
+    /// Raw offsets (`I_R`), for compression.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw neighbor array (`I_C`).
+    #[inline]
+    pub fn neighbors_raw(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Approximate heap footprint in bytes, for the paper's memory metrics.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.neighbors.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_builds_fig4_left_cluster() {
+        // Paper Fig. 4 left: (A,B,NULL) outgoing CSR of G in Fig. 1:
+        // v1 -> v2, v6; v4 -> v5. Vertices are 0-based here.
+        let csr = Csr::from_pairs(10, vec![(0, 1), (0, 5), (3, 4)]);
+        assert_eq!(csr.row(0), &[1, 5]);
+        assert_eq!(csr.row(3), &[4]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.arc_count(), 3);
+        assert_eq!(csr.row_count(), 10);
+    }
+
+    #[test]
+    fn unsorted_input_rows_get_sorted() {
+        let csr = Csr::from_pairs(4, vec![(2, 3), (0, 2), (0, 1), (2, 0)]);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(2), &[0, 3]);
+    }
+
+    #[test]
+    fn contains_and_lens() {
+        let csr = Csr::from_pairs(3, vec![(0, 1), (0, 2), (1, 0)]);
+        assert!(csr.contains(0, 2));
+        assert!(!csr.contains(0, 0));
+        assert!(!csr.contains(2, 0));
+        assert_eq!(csr.row_len(0), 2);
+        assert_eq!(csr.row_len(2), 0);
+    }
+
+    #[test]
+    fn nonempty_rows_are_seed_candidates() {
+        let csr = Csr::from_pairs(5, vec![(1, 0), (4, 2)]);
+        let seeds: Vec<u32> = csr.nonempty_rows().collect();
+        assert_eq!(seeds, vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let csr = Csr::from_pairs(3, vec![]);
+        assert_eq!(csr.arc_count(), 0);
+        assert_eq!(csr.nonempty_rows().count(), 0);
+        assert_eq!(csr.row(2), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cluster identifiers.
+//!
+//! Edge isomorphism depends on the two vertex labels, the edge label, and
+//! the direction (§IV), so those four pieces form the identifier. A
+//! directed cluster arranges vertex labels in the outgoing direction, e.g.
+//! the paper's `(A, B, NULL)`-cluster; an undirected cluster is identified
+//! by the alphabetically sorted label pair, e.g.
+//! `(A, B, NULL),(B, A, NULL)`-cluster, canonicalized here as the sorted
+//! pair plus `directed = false`.
+
+use csce_graph::{Graph, Label, VertexId, NO_LABEL};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one edge-isomorphism cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ClusterKey {
+    /// Label of the outgoing-side vertex (the smaller label for undirected
+    /// clusters).
+    pub src_label: Label,
+    /// Label of the incoming-side vertex (the larger label for undirected
+    /// clusters).
+    pub dst_label: Label,
+    /// Edge label; [`NO_LABEL`] is the paper's `NULL`.
+    pub edge_label: Label,
+    /// Whether the clustered edges are directed.
+    pub directed: bool,
+}
+
+impl ClusterKey {
+    /// Key of a directed edge cluster `src_label → dst_label`.
+    pub fn directed(src_label: Label, dst_label: Label, edge_label: Label) -> Self {
+        ClusterKey { src_label, dst_label, edge_label, directed: true }
+    }
+
+    /// Key of an undirected edge cluster (labels are canonicalized so the
+    /// key is orientation-free, mirroring the paper's sorted pair).
+    pub fn undirected(a: Label, b: Label, edge_label: Label) -> Self {
+        ClusterKey { src_label: a.min(b), dst_label: a.max(b), edge_label, directed: false }
+    }
+
+    /// The key of the cluster containing a concrete data edge.
+    pub fn of_edge(g: &Graph, src: VertexId, dst: VertexId, edge_label: Label, directed: bool) -> Self {
+        if directed {
+            ClusterKey::directed(g.label(src), g.label(dst), edge_label)
+        } else {
+            ClusterKey::undirected(g.label(src), g.label(dst), edge_label)
+        }
+    }
+
+    /// The unordered vertex-label pair, used to index the
+    /// `(u_x, u_y)*`-clusters for vertex-induced negation.
+    pub fn label_pair(&self) -> (Label, Label) {
+        (self.src_label.min(self.dst_label), self.src_label.max(self.dst_label))
+    }
+
+    /// Whether both endpoints share one label (an undirected same-label
+    /// cluster has rows on both "sides").
+    pub fn symmetric_labels(&self) -> bool {
+        self.src_label == self.dst_label
+    }
+}
+
+impl std::fmt::Display for ClusterKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let lab = |l: Label| {
+            if l == NO_LABEL {
+                "NULL".to_string()
+            } else {
+                l.to_string()
+            }
+        };
+        if self.directed {
+            write!(f, "({},{},{})", lab(self.src_label), lab(self.dst_label), lab(self.edge_label))
+        } else {
+            write!(
+                f,
+                "({},{},{}),({},{},{})",
+                lab(self.src_label),
+                lab(self.dst_label),
+                lab(self.edge_label),
+                lab(self.dst_label),
+                lab(self.src_label),
+                lab(self.edge_label)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::GraphBuilder;
+
+    #[test]
+    fn undirected_keys_canonicalize() {
+        assert_eq!(ClusterKey::undirected(3, 1, 0), ClusterKey::undirected(1, 3, 0));
+        let k = ClusterKey::undirected(3, 1, 0);
+        assert_eq!((k.src_label, k.dst_label), (1, 3));
+    }
+
+    #[test]
+    fn directed_keys_keep_orientation() {
+        assert_ne!(ClusterKey::directed(1, 3, 0), ClusterKey::directed(3, 1, 0));
+    }
+
+    #[test]
+    fn edge_keys_from_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(7); // v0
+        b.add_vertex(2); // v1
+        b.add_edge(0, 1, 5).unwrap();
+        let g = b.build();
+        let k = ClusterKey::of_edge(&g, 0, 1, 5, true);
+        assert_eq!(k, ClusterKey::directed(7, 2, 5));
+        let ku = ClusterKey::of_edge(&g, 0, 1, 5, false);
+        assert_eq!(ku, ClusterKey::undirected(2, 7, 5));
+        assert_eq!(ku.label_pair(), (2, 7));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let d = ClusterKey::directed(0, 1, NO_LABEL);
+        assert_eq!(d.to_string(), "(0,1,NULL)");
+        let u = ClusterKey::undirected(0, 1, NO_LABEL);
+        assert_eq!(u.to_string(), "(0,1,NULL),(1,0,NULL)");
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        assert!(ClusterKey::undirected(4, 4, 0).symmetric_labels());
+        assert!(!ClusterKey::undirected(4, 5, 0).symmetric_labels());
+    }
+}

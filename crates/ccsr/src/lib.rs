@@ -1,0 +1,38 @@
+//! # csce-ccsr
+//!
+//! Clustered Compressed Sparse Row (CCSR) storage — the paper's
+//! heterogeneity-aware index over the data graph (§IV).
+//!
+//! Every data edge is placed in exactly one *cluster* of mutually
+//! isomorphic edges, identified by a [`ClusterKey`] of
+//! `(source label, destination label, edge label)` plus direction. Each
+//! cluster is stored as one or two compressed sparse rows: directed
+//! clusters carry an outgoing and an incoming CSR, undirected clusters a
+//! single CSR that lists each edge from both endpoints. Row-index arrays
+//! are run-length compressed ([`CompressedCsr`]) so the total `I_R` length
+//! is bounded by `4|E|` regardless of cluster count; [`read_csr`]
+//! (Algorithm 1) decompresses only the clusters a given pattern and
+//! matching variant need.
+//!
+//! The offline stage is [`build_ccsr`]: it converts a
+//! [`csce_graph::Graph`] into a [`Ccsr`] (the paper's `G_C`), which fully
+//! replaces the original graph ("as `G_C` is equivalent to `G`, we do not
+//! keep `G`"). [`persist`] serializes `G_C` to a compact binary file so
+//! clustering cost is paid once per data graph, not per query.
+
+pub mod build;
+pub mod cluster;
+pub mod compress;
+pub mod csr;
+pub mod key;
+pub mod persist;
+pub mod read;
+pub mod stats;
+
+pub use build::{build_ccsr, Ccsr};
+pub use cluster::{Cluster, DecodedCluster};
+pub use compress::CompressedCsr;
+pub use csr::Csr;
+pub use key::ClusterKey;
+pub use read::{read_csr, GcStar};
+pub use stats::CcsrStats;

@@ -1,0 +1,235 @@
+//! Binary persistence of `G_C`.
+//!
+//! Clustering is the offline stage of Fig. 2 and is paid once per data
+//! graph; the result is written to a compact little-endian binary file and
+//! memory-loaded for each matching task. The format is hand-rolled on the
+//! `bytes` crate: a magic header, the vertex label array, then each
+//! cluster's key, compressed row runs, and column index.
+
+use crate::build::Ccsr;
+use crate::cluster::Cluster;
+use crate::compress::CompressedCsr;
+use crate::key::ClusterKey;
+use bytes::{Buf, BufMut};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CSCEGC1\0";
+
+/// Errors raised when decoding a persisted `G_C`.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    /// The byte stream is not a valid CCSR file.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt ccsr file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
+    buf.put_u32_le(c.runs().len() as u32);
+    for &(value, count) in c.runs() {
+        buf.put_u32_le(value);
+        buf.put_u32_le(count);
+    }
+    buf.put_u32_le(c.neighbors().len() as u32);
+    for &x in c.neighbors() {
+        buf.put_u32_le(x);
+    }
+}
+
+fn get_compressed(buf: &mut &[u8]) -> Result<CompressedCsr, PersistError> {
+    let runs_len = read_u32(buf)? as usize;
+    if buf.remaining() < runs_len * 8 {
+        return Err(PersistError::Corrupt("truncated runs"));
+    }
+    let mut runs = Vec::with_capacity(runs_len);
+    for _ in 0..runs_len {
+        let value = buf.get_u32_le();
+        let count = buf.get_u32_le();
+        runs.push((value, count));
+    }
+    let nbr_len = read_u32(buf)? as usize;
+    if buf.remaining() < nbr_len * 4 {
+        return Err(PersistError::Corrupt("truncated neighbors"));
+    }
+    let mut neighbors = Vec::with_capacity(nbr_len);
+    for _ in 0..nbr_len {
+        neighbors.push(buf.get_u32_le());
+    }
+    CompressedCsr::from_parts(runs, neighbors)
+        .ok_or(PersistError::Corrupt("invalid compressed row index"))
+}
+
+fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Corrupt("unexpected end of file"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Encode a `G_C` into bytes.
+pub fn to_bytes(ccsr: &Ccsr) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + ccsr.heap_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(ccsr.n() as u32);
+    for &l in ccsr.vertex_labels() {
+        buf.put_u32_le(l);
+    }
+    let mut clusters: Vec<&Cluster> = ccsr.clusters().collect();
+    clusters.sort_unstable_by_key(|c| c.key);
+    buf.put_u32_le(clusters.len() as u32);
+    for c in clusters {
+        buf.put_u32_le(c.key.src_label);
+        buf.put_u32_le(c.key.dst_label);
+        buf.put_u32_le(c.key.edge_label);
+        buf.put_u8(c.key.directed as u8);
+        put_compressed(&mut buf, &c.out);
+        match &c.inc {
+            Some(inc) => {
+                buf.put_u8(1);
+                put_compressed(&mut buf, inc);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf
+}
+
+/// Decode a `G_C` from bytes.
+pub fn from_bytes(mut buf: &[u8]) -> Result<Ccsr, PersistError> {
+    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::Corrupt("bad magic"));
+    }
+    buf.advance(MAGIC.len());
+    let n = read_u32(&mut buf)?;
+    if buf.remaining() < n as usize * 4 {
+        return Err(PersistError::Corrupt("truncated labels"));
+    }
+    let mut labels = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        labels.push(buf.get_u32_le());
+    }
+    let cluster_count = read_u32(&mut buf)? as usize;
+    let mut clusters = Vec::with_capacity(cluster_count);
+    for _ in 0..cluster_count {
+        let src_label = read_u32(&mut buf)?;
+        let dst_label = read_u32(&mut buf)?;
+        let edge_label = read_u32(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(PersistError::Corrupt("truncated key"));
+        }
+        let directed = buf.get_u8() != 0;
+        let key = ClusterKey { src_label, dst_label, edge_label, directed };
+        let out = get_compressed(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(PersistError::Corrupt("truncated inc flag"));
+        }
+        let inc = if buf.get_u8() != 0 { Some(get_compressed(&mut buf)?) } else { None };
+        if directed != inc.is_some() {
+            return Err(PersistError::Corrupt("direction / csr-count mismatch"));
+        }
+        clusters.push(Cluster { key, out, inc });
+    }
+    if buf.has_remaining() {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    Ok(Ccsr::from_parts(n, labels, clusters))
+}
+
+/// Write a `G_C` to a file.
+pub fn save(ccsr: &Ccsr, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, to_bytes(ccsr))?;
+    Ok(())
+}
+
+/// Load a `G_C` from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Ccsr, PersistError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_ccsr;
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    fn sample_ccsr() -> Ccsr {
+        let mut b = GraphBuilder::new();
+        for l in [0, 1, 2, 0, 1] {
+            b.add_vertex(l);
+        }
+        b.add_edge(0, 1, 7).unwrap();
+        b.add_edge(3, 1, 7).unwrap();
+        b.add_undirected_edge(2, 4, NO_LABEL).unwrap();
+        build_ccsr(&b.build())
+    }
+
+    fn assert_same(a: &Ccsr, b: &Ccsr) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.vertex_labels(), b.vertex_labels());
+        assert_eq!(a.cluster_count(), b.cluster_count());
+        for c in a.clusters() {
+            let other = b.cluster(&c.key).expect("cluster present after roundtrip");
+            assert_eq!(c.out, other.out);
+            assert_eq!(c.inc, other.inc);
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let gc = sample_ccsr();
+        let bytes = to_bytes(&gc);
+        let back = from_bytes(&bytes).unwrap();
+        assert_same(&gc, &back);
+        assert_eq!(back.negation_keys(0, 1).len(), gc.negation_keys(0, 1).len());
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let gc = sample_ccsr();
+        let dir = std::env::temp_dir().join("csce_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.ccsr");
+        save(&gc, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_same(&gc, &back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let gc = sample_ccsr();
+        let mut bytes = to_bytes(&gc);
+        assert!(from_bytes(&bytes[..4]).is_err(), "truncated magic");
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err(), "bad magic");
+        let bytes = to_bytes(&gc);
+        assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err(), "truncated body");
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(from_bytes(&extended).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let gc = build_ccsr(&GraphBuilder::new().build());
+        let back = from_bytes(&to_bytes(&gc)).unwrap();
+        assert_eq!(back.n(), 0);
+        assert_eq!(back.cluster_count(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! `ReadCSR` — Algorithm 1 of the paper.
+//!
+//! For a given pattern `P` and variant `θ`, only a subset `G_C^*` of the
+//! clusters is needed: one per pattern edge (by identifier lookup), plus —
+//! for vertex-induced matching — the `(u_x, u_y)*`-clusters between every
+//! *unconnected* pattern vertex pair, which drive negation. Each selected
+//! cluster is decompressed into standard CSRs exactly once.
+
+use crate::build::Ccsr;
+use crate::cluster::DecodedCluster;
+use crate::key::ClusterKey;
+use csce_graph::graph::Edge;
+use csce_graph::{FxHashMap, Graph, Variant};
+
+/// The decoded working set `G_C^*` for one matching task.
+pub struct GcStar<'a> {
+    ccsr: &'a Ccsr,
+    clusters: FxHashMap<ClusterKey, DecodedCluster>,
+}
+
+/// The cluster identifier a pattern edge looks up (Algorithm 1, lines 3–8).
+pub fn pattern_edge_key(p: &Graph, e: &Edge) -> ClusterKey {
+    if e.directed {
+        ClusterKey::directed(p.label(e.src), p.label(e.dst), e.label)
+    } else {
+        ClusterKey::undirected(p.label(e.src), p.label(e.dst), e.label)
+    }
+}
+
+/// Algorithm 1: select and decompress the clusters needed by `(P, θ)`.
+pub fn read_csr<'a>(ccsr: &'a Ccsr, p: &Graph, variant: Variant) -> GcStar<'a> {
+    let mut clusters: FxHashMap<ClusterKey, DecodedCluster> = FxHashMap::default();
+    let load = |key: ClusterKey, clusters: &mut FxHashMap<ClusterKey, DecodedCluster>| {
+        if clusters.contains_key(&key) {
+            return;
+        }
+        if let Some(c) = ccsr.cluster(&key) {
+            clusters.insert(key, c.decode());
+        }
+    };
+    for e in p.edges() {
+        load(pattern_edge_key(p, e), &mut clusters);
+    }
+    if variant == Variant::VertexInduced {
+        // Induced matching needs every cluster between each pattern vertex
+        // pair's labels: unconnected pairs for negation, and connected
+        // pairs to reject candidates carrying extra arcs (e.g. an
+        // antiparallel data arc the pattern does not have).
+        let n = p.n();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                for key in ccsr.negation_keys(p.label(a), p.label(b)) {
+                    load(*key, &mut clusters);
+                }
+            }
+        }
+    }
+    GcStar { ccsr, clusters }
+}
+
+impl<'a> GcStar<'a> {
+    /// The underlying `G_C` (vertex labels, label frequencies, indexes).
+    #[inline]
+    pub fn ccsr(&self) -> &'a Ccsr {
+        self.ccsr
+    }
+
+    /// Look up a decoded cluster; `None` means no data edge matches that
+    /// identifier (the cluster is empty).
+    #[inline]
+    pub fn get(&self, key: &ClusterKey) -> Option<&DecodedCluster> {
+        self.clusters.get(key)
+    }
+
+    /// The decoded cluster serving one pattern edge, if non-empty.
+    #[inline]
+    pub fn cluster_for_edge(&self, p: &Graph, e: &Edge) -> Option<&DecodedCluster> {
+        self.get(&pattern_edge_key(p, e))
+    }
+
+    /// Loaded `(a, b)*`-negation clusters between two vertex labels.
+    pub fn negation_clusters(
+        &self,
+        a: csce_graph::Label,
+        b: csce_graph::Label,
+    ) -> impl Iterator<Item = &DecodedCluster> {
+        self.ccsr
+            .negation_keys(a, b)
+            .iter()
+            .filter_map(move |key| self.clusters.get(key))
+    }
+
+    /// Whether any data edge exists between two vertex labels — Algorithm 2
+    /// line 8's `∃ α ∈ (Φ[i], Φ[j])*-clusters, |α| > 0`, constant time
+    /// because only non-empty clusters are built.
+    pub fn labels_ever_adjacent(&self, a: csce_graph::Label, b: csce_graph::Label) -> bool {
+        !self.ccsr.negation_keys(a, b).is_empty()
+    }
+
+    /// Number of decoded clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Approximate heap footprint of the decoded working set, for the
+    /// CCSR-overhead experiments (Fig. 11).
+    pub fn heap_bytes(&self) -> usize {
+        self.clusters.values().map(|c| c.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_ccsr;
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    /// Data: labels 0,1,2; edges (0)-(1) directed per label combination.
+    fn data() -> Ccsr {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex(0);
+        let v1 = b.add_vertex(1);
+        let v2 = b.add_vertex(2);
+        let v3 = b.add_vertex(1);
+        b.add_edge(v0, v1, NO_LABEL).unwrap();
+        b.add_edge(v0, v2, NO_LABEL).unwrap();
+        b.add_edge(v1, v2, NO_LABEL).unwrap();
+        b.add_edge(v3, v2, NO_LABEL).unwrap();
+        build_ccsr(&b.build())
+    }
+
+    fn pattern_edge_01() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn loads_only_pattern_edge_clusters() {
+        let gc = data();
+        let p = pattern_edge_01();
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        assert_eq!(star.cluster_count(), 1);
+        let d = star.cluster_for_edge(&p, &p.edges()[0]).unwrap();
+        assert_eq!(d.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn vertex_induced_adds_negation_clusters() {
+        let gc = data();
+        // Pattern: 0(label 0) -> 1(label 1), plus an isolated-but-connected
+        // story needs 3 vertices: path 0 -> 1 -> 2 with labels 0,1,2 and no
+        // edge between pattern 0 and 2 => negation clusters for labels (0,2).
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(2);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        b.add_edge(1, 2, NO_LABEL).unwrap();
+        let p = b.build();
+        let star_e = read_csr(&gc, &p, Variant::EdgeInduced);
+        assert_eq!(star_e.cluster_count(), 2);
+        let star_v = read_csr(&gc, &p, Variant::VertexInduced);
+        // Adds the (0,2) directed cluster for negation.
+        assert_eq!(star_v.cluster_count(), 3);
+        assert!(star_v.labels_ever_adjacent(0, 2));
+        assert_eq!(star_v.negation_clusters(0, 2).count(), 1);
+    }
+
+    #[test]
+    fn missing_clusters_stay_missing() {
+        let gc = data();
+        let mut b = GraphBuilder::new();
+        b.add_vertex(5); // label that does not exist in the data
+        b.add_vertex(1);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        let p = b.build();
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        assert_eq!(star.cluster_count(), 0);
+        assert!(star.cluster_for_edge(&p, &p.edges()[0]).is_none());
+        assert!(!star.labels_ever_adjacent(5, 1));
+    }
+
+    #[test]
+    fn duplicate_pattern_edges_share_one_decode() {
+        let gc = data();
+        // Two pattern edges with identical identifiers: star of label-1
+        // leaves under a label-0 root... both edges map to the same cluster.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        b.add_edge(0, 2, NO_LABEL).unwrap();
+        let p = b.build();
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        assert_eq!(star.cluster_count(), 1);
+    }
+}

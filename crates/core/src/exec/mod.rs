@@ -1,0 +1,698 @@
+//! Execution: the pipelined worst-case-optimal join with SCE reuse.
+//!
+//! The executor grows partial embeddings one pattern vertex at a time
+//! along `Φ*`, computing each vertex's candidate set as the intersection
+//! of the CCSR neighbor rows of its already-matched pattern neighbors
+//! (a pipelined WCOJ, §III), with vertex-induced negation subtracting the
+//! data neighbors of matched non-neighbors.
+//!
+//! Sequential Candidate Equivalence is exploited twice:
+//!
+//! * **candidate caching** — a vertex's candidate set is a pure function
+//!   of its `H`-parents' mappings; the signature is remembered and the set
+//!   reused while it holds (injectivity is re-filtered per candidate, as
+//!   Definition 1's `C \ {v_x}` prescribes). NEC-equivalent vertices with
+//!   identical parents share one cache slot.
+//! * **factorized counting** — in counting mode the plan's [`ExecNode`]
+//!   tree multiplies the counts of `H`-independent suffix components
+//!   instead of enumerating their Cartesian product.
+
+mod stats;
+
+pub use stats::ExecStats;
+
+use crate::catalog::Catalog;
+use crate::plan::{ExecNode, Plan};
+use csce_graph::graph::Orient;
+use csce_graph::util::{intersect_sorted, subtract_sorted};
+use csce_graph::VertexId;
+use std::time::{Duration, Instant};
+
+/// Runtime options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Use the SCE candidate cache (`false` recomputes every time — the
+    /// ablation knob).
+    pub use_sce_cache: bool,
+    /// Use the factorized execution tree in counting mode.
+    pub factorize: bool,
+    /// Abort after this much wall time (counts and stats are then partial
+    /// and `stats.timed_out` is set).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { use_sce_cache: true, factorize: true, time_limit: None }
+    }
+}
+
+/// One per-slot candidate cache: the parents' mapping signature under
+/// which `cands` was computed.
+#[derive(Clone, Debug, Default)]
+struct CandCache {
+    valid: bool,
+    sig: Vec<VertexId>,
+    cands: Vec<VertexId>,
+}
+
+/// The matching executor for one `(catalog, plan)` pair. Reusable across
+/// calls; state resets at each entry point.
+pub struct Executor<'a> {
+    catalog: &'a Catalog<'a>,
+    plan: &'a Plan,
+    config: RunConfig,
+    f: Vec<VertexId>,
+    used: Vec<bool>,
+    caches: Vec<CandCache>,
+    stats: ExecStats,
+    deadline: Option<Instant>,
+    stopped: bool,
+    /// Ordering restrictions `f(a) < f(b)`, indexed by the pattern vertex
+    /// at which each becomes checkable (the later one in `Φ*`).
+    checks_at: Vec<Vec<(VertexId, VertexId)>>,
+    /// Work partition for parallel counting: the root vertex only tries
+    /// candidates whose index `i` satisfies `i % stride == offset`.
+    root_filter: Option<(usize, usize)>,
+}
+
+const UNMAPPED: VertexId = VertexId::MAX;
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog<'a>, plan: &'a Plan, config: RunConfig) -> Executor<'a> {
+        Executor {
+            catalog,
+            plan,
+            config,
+            f: vec![UNMAPPED; catalog.pattern().n()],
+            used: vec![false; catalog.data_n()],
+            caches: vec![CandCache::default(); plan.slot_count],
+            stats: ExecStats::default(),
+            deadline: None,
+            stopped: false,
+            checks_at: vec![Vec::new(); catalog.pattern().n()],
+            root_filter: None,
+        }
+    }
+
+    /// Restrict the root vertex to every `stride`-th candidate starting at
+    /// `offset` — the work partition used by [`count_parallel`]. The
+    /// partial counts over offsets `0..stride` sum to the full count.
+    pub fn with_root_partition(mut self, stride: usize, offset: usize) -> Executor<'a> {
+        assert!(offset < stride, "offset must be below stride");
+        self.root_filter = Some((stride, offset));
+        self
+    }
+
+    /// Impose ordering restrictions `f(a) < f(b)` on the enumeration.
+    ///
+    /// CSCE itself applies no symmetry breaking (§III / Finding 2), but
+    /// applications that want each *subgraph* once — e.g. clique counting
+    /// for higher-order analysis (§VII-G) — can supply the orbit
+    /// restrictions of the pattern's automorphism group. Restrictions are
+    /// checked per candidate; to keep SCE caches sound they are applied at
+    /// scan time, never baked into cached candidate sets.
+    pub fn with_restrictions(mut self, restrictions: &[(VertexId, VertexId)]) -> Executor<'a> {
+        for list in &mut self.checks_at {
+            list.clear();
+        }
+        for &(a, b) in restrictions {
+            let later = if self.plan.pos_of[a as usize] > self.plan.pos_of[b as usize] {
+                a
+            } else {
+                b
+            };
+            self.checks_at[later as usize].push((a, b));
+        }
+        self
+    }
+
+    /// Whether candidate `v` for pattern vertex `u` satisfies every
+    /// ordering restriction checkable at `u`.
+    #[inline]
+    fn restrictions_ok(&self, u: VertexId, v: VertexId) -> bool {
+        self.checks_at[u as usize].iter().all(|&(a, b)| {
+            let fa = if a == u { v } else { self.f[a as usize] };
+            let fb = if b == u { v } else { self.f[b as usize] };
+            fa < fb
+        })
+    }
+
+    fn reset(&mut self) {
+        self.f.fill(UNMAPPED);
+        self.used.fill(false);
+        for c in &mut self.caches {
+            c.valid = false;
+        }
+        self.stats = ExecStats::default();
+        self.deadline = self.config.time_limit.map(|d| Instant::now() + d);
+        self.stopped = false;
+    }
+
+    /// Count all embeddings. Uses the factorized tree when enabled (and
+    /// when no cross-cutting ordering restrictions are imposed).
+    pub fn count(&mut self) -> u64 {
+        self.reset();
+        let has_restrictions = self.checks_at.iter().any(|l| !l.is_empty());
+        let root = if self.config.factorize && !has_restrictions {
+            self.plan.root.clone()
+        } else {
+            sequential_tree(&self.plan.order)
+        };
+        let count = self.count_node(&root);
+        self.stats.embeddings = count;
+        count
+    }
+
+    /// Enumerate embeddings, invoking `emit` with the mapping array
+    /// (`emit[i]` = data vertex of pattern vertex `i`). Return `false`
+    /// from `emit` to stop early.
+    pub fn enumerate(&mut self, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
+        self.reset();
+        self.enumerate_depth(0, emit);
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn check_deadline(&mut self) -> bool {
+        if self.stopped {
+            return true;
+        }
+        if self.stats.nodes.is_multiple_of(4096) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.stats.timed_out = true;
+                    self.stopped = true;
+                }
+            }
+        }
+        self.stopped
+    }
+
+    fn count_node(&mut self, node: &ExecNode) -> u64 {
+        match node {
+            ExecNode::Done => 1,
+            ExecNode::Split { components } => {
+                self.stats.splits_taken += 1;
+                let mut product = 1u64;
+                for comp in components {
+                    let c = self.count_node(comp);
+                    if c == 0 {
+                        return 0;
+                    }
+                    product = product.saturating_mul(c);
+                }
+                product
+            }
+            ExecNode::Seq { u, next } => {
+                self.stats.nodes += 1;
+                if self.check_deadline() {
+                    return 0;
+                }
+                let u = *u;
+                let injective = self.plan.variant.injective();
+                let (slot, len) = self.materialize_candidates(u);
+                let root_filter = if u == self.plan.order[0] { self.root_filter } else { None };
+                let mut total = 0u64;
+                for i in 0..len {
+                    if let Some((stride, offset)) = root_filter {
+                        if i % stride != offset {
+                            continue;
+                        }
+                    }
+                    let v = self.caches[slot].cands[i];
+                    if injective && self.used[v as usize] {
+                        continue;
+                    }
+                    if !self.restrictions_ok(u, v) {
+                        continue;
+                    }
+                    self.stats.candidates_scanned += 1;
+                    self.f[u as usize] = v;
+                    if injective {
+                        self.used[v as usize] = true;
+                    }
+                    total += self.count_node(next);
+                    if injective {
+                        self.used[v as usize] = false;
+                    }
+                    self.f[u as usize] = UNMAPPED;
+                    if self.stopped {
+                        break;
+                    }
+                }
+                total
+            }
+        }
+    }
+
+    fn enumerate_depth(&mut self, depth: usize, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
+        if depth == self.plan.order.len() {
+            self.stats.embeddings += 1;
+            if !emit(&self.f) {
+                self.stopped = true;
+            }
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.check_deadline() {
+            return;
+        }
+        let u = self.plan.order[depth];
+        let injective = self.plan.variant.injective();
+        let (slot, len) = self.materialize_candidates(u);
+        for i in 0..len {
+            let v = self.caches[slot].cands[i];
+            if injective && self.used[v as usize] {
+                continue;
+            }
+            if !self.restrictions_ok(u, v) {
+                continue;
+            }
+            self.stats.candidates_scanned += 1;
+            self.f[u as usize] = v;
+            if injective {
+                self.used[v as usize] = true;
+            }
+            self.enumerate_depth(depth + 1, emit);
+            if injective {
+                self.used[v as usize] = false;
+            }
+            self.f[u as usize] = UNMAPPED;
+            if self.stopped {
+                return;
+            }
+        }
+    }
+
+    /// Ensure `u`'s candidate set is in its cache slot for the current
+    /// partial embedding; returns `(slot, candidate count)`.
+    ///
+    /// The candidates are exactly `C(u | Φ, f)` of Definition 1 — the
+    /// injectivity filter (`C \ {v_x}`) is applied by the caller per
+    /// candidate, which is what makes the cached set reusable across
+    /// sibling mappings.
+    fn materialize_candidates(&mut self, u: VertexId) -> (usize, usize) {
+        let slot = self.plan.cache_slot[u as usize] as usize;
+        let parents = self.plan.dag.parents(u);
+        // Signature: the mappings of all H-parents (edge + negation).
+        let sig_matches = self.config.use_sce_cache
+            && self.caches[slot].valid
+            && self.caches[slot].sig.len() == parents.len()
+            && parents
+                .iter()
+                .zip(&self.caches[slot].sig)
+                .all(|(&p, &s)| self.f[p as usize] == s);
+        if sig_matches {
+            self.stats.sce_cache_hits += 1;
+            let len = self.caches[slot].cands.len();
+            return (slot, len);
+        }
+        self.stats.candidate_computations += 1;
+        let mut cands = std::mem::take(&mut self.caches[slot].cands);
+        self.compute_candidates(u, &mut cands);
+        let cache = &mut self.caches[slot];
+        cache.cands = cands;
+        cache.sig.clear();
+        cache.sig.extend(parents.iter().map(|&p| self.f[p as usize]));
+        cache.valid = true;
+        let len = cache.cands.len();
+        (slot, len)
+    }
+
+    /// Compute `C(u | Φ, f)` from scratch into `out`.
+    fn compute_candidates(&self, u: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let edge_parents = self.plan.dag.edge_parents(u);
+        if edge_parents.is_empty() {
+            // First vertex of the order (or an isolated pattern vertex):
+            // worst-case-optimal join seed over all incident relations.
+            out.extend(self.catalog.seeds(u));
+        } else {
+            // Gather the parent rows, smallest first, then intersect.
+            let mut rows: Vec<&[u32]> = Vec::with_capacity(edge_parents.len());
+            for &(parent, eidx) in edge_parents {
+                let parent_side = self.catalog.side_of(eidx, parent);
+                let row = self.catalog.extend_row(eidx, parent_side, self.f[parent as usize]);
+                if row.is_empty() {
+                    return;
+                }
+                rows.push(row);
+            }
+            rows.sort_unstable_by_key(|r| r.len());
+            out.extend_from_slice(rows[0]);
+            let mut tmp = Vec::new();
+            for row in &rows[1..] {
+                intersect_sorted(out, row, &mut tmp);
+                std::mem::swap(out, &mut tmp);
+                if out.is_empty() {
+                    return;
+                }
+            }
+        }
+        // Vertex-induced filtering: a candidate is disqualified by any
+        // data arc to a matched dependency parent that the pattern pair
+        // does not have — negation for non-neighbors (empty `allowed`),
+        // extra-arc rejection for neighbors (e.g. an antiparallel arc).
+        let p = self.catalog.pattern();
+        for filt in &self.plan.induced_filters[u as usize] {
+            let w = self.f[filt.parent as usize];
+            debug_assert_ne!(w, UNMAPPED, "dependency parents precede u in Φ*");
+            let parent_label = p.label(filt.parent);
+            for cluster in self.catalog.negation_clusters(parent_label, p.label(u)) {
+                let key = cluster.key;
+                if key.directed {
+                    if key.src_label == parent_label
+                        && !filt.allowed.contains(&(Orient::Out, key.edge_label))
+                    {
+                        subtract_sorted(out, cluster.out_neighbors(w));
+                    }
+                    if key.dst_label == parent_label
+                        && !filt.allowed.contains(&(Orient::In, key.edge_label))
+                    {
+                        subtract_sorted(out, cluster.in_neighbors(w));
+                    }
+                } else if !filt.allowed.contains(&(Orient::Und, key.edge_label)) {
+                    subtract_sorted(out, cluster.out_neighbors(w));
+                }
+                if out.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Count embeddings using `threads` worker threads, partitioning the root
+/// vertex's candidates round-robin (each partial count is an independent
+/// [`Executor`] run; partials sum exactly to the sequential count).
+///
+/// The paper evaluates single-threaded matching; this is the natural
+/// data-parallel extension its execution model admits — SCE caches and
+/// factorized counting work unchanged inside each partition.
+pub fn count_parallel(
+    star: &csce_ccsr::GcStar<'_>,
+    pattern: &csce_graph::Graph,
+    plan: &Plan,
+    config: RunConfig,
+    threads: usize,
+) -> u64 {
+    assert!(threads >= 1);
+    if threads == 1 {
+        let catalog = Catalog::new(pattern, star);
+        return Executor::new(&catalog, plan, config).count();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|offset| {
+                scope.spawn(move || {
+                    let catalog = Catalog::new(pattern, star);
+                    Executor::new(&catalog, plan, config)
+                        .with_root_partition(threads, offset)
+                        .count()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+/// A purely sequential execution tree over `Φ*` (factorization disabled).
+fn sequential_tree(order: &[VertexId]) -> ExecNode {
+    let mut node = ExecNode::Done;
+    for &u in order.iter().rev() {
+        node = ExecNode::Seq { u, next: Box::new(node) };
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Planner, PlannerConfig};
+    use csce_ccsr::{build_ccsr, read_csr, Ccsr};
+    use csce_graph::{oracle_count, Graph, GraphBuilder, Variant, NO_LABEL};
+
+    fn run(g: &Graph, p: &Graph, variant: Variant, config: RunConfig) -> (u64, ExecStats) {
+        let gc: Ccsr = build_ccsr(g);
+        let star = read_csr(&gc, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        let mut exec = Executor::new(&catalog, &plan, config);
+        let count = exec.count();
+        (count, exec.stats().clone())
+    }
+
+    fn paw() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_undirected_edge(a, c, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn matches_oracle_on_paw() {
+        let g = paw();
+        let p = path3();
+        for variant in Variant::ALL {
+            let (count, _) = run(&g, &p, variant, RunConfig::default());
+            assert_eq!(count, oracle_count(&g, &p, variant), "{variant}");
+        }
+    }
+
+    #[test]
+    fn factorization_matches_sequential() {
+        // Star pattern with same-label center, distinct-label leaves in a
+        // labeled data graph.
+        let mut gb = GraphBuilder::new();
+        let c0 = gb.add_vertex(0);
+        let c1 = gb.add_vertex(0);
+        for l in [1u32, 1, 2, 3] {
+            let v = gb.add_vertex(l);
+            gb.add_undirected_edge(c0, v, NO_LABEL).unwrap();
+            gb.add_undirected_edge(c1, v, NO_LABEL).unwrap();
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(0);
+        pb.add_vertex(1);
+        pb.add_vertex(2);
+        pb.add_vertex(3);
+        for leaf in 1..4 {
+            pb.add_undirected_edge(0, leaf, NO_LABEL).unwrap();
+        }
+        let p = pb.build();
+        for variant in Variant::ALL {
+            let (with, stats) = run(&g, &p, variant, RunConfig::default());
+            let (without, _) =
+                run(&g, &p, variant, RunConfig { factorize: false, ..Default::default() });
+            assert_eq!(with, without, "{variant}");
+            assert_eq!(with, oracle_count(&g, &p, variant), "{variant}");
+            if variant == Variant::Homomorphic {
+                assert!(stats.splits_taken > 0, "splits fire for homomorphism");
+            }
+        }
+    }
+
+    #[test]
+    fn sce_cache_hits_occur_and_do_not_change_counts() {
+        // Two independent leaves under a path: reuse should fire.
+        let mut gb = GraphBuilder::new();
+        b_chain(&mut gb, 6);
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        b_chain(&mut pb, 4);
+        let p = pb.build();
+        let (with, stats_with) = run(&g, &p, Variant::EdgeInduced, RunConfig::default());
+        let (without, stats_without) = run(
+            &g,
+            &p,
+            Variant::EdgeInduced,
+            RunConfig { use_sce_cache: false, ..Default::default() },
+        );
+        assert_eq!(with, without);
+        assert_eq!(with, oracle_count(&g, &p, Variant::EdgeInduced));
+        assert!(stats_without.sce_cache_hits == 0);
+        assert!(stats_with.candidate_computations <= stats_without.candidate_computations);
+    }
+
+    fn b_chain(b: &mut GraphBuilder, n: usize) {
+        b.add_unlabeled_vertices(n);
+        for i in 0..n - 1 {
+            b.add_undirected_edge(i as u32, i as u32 + 1, NO_LABEL).unwrap();
+        }
+    }
+
+    #[test]
+    fn enumerate_agrees_with_count_and_can_stop() {
+        let g = paw();
+        let p = path3();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+        let mut exec = Executor::new(&catalog, &plan, RunConfig::default());
+        let mut embeddings = Vec::new();
+        exec.enumerate(&mut |f| {
+            embeddings.push(f.to_vec());
+            true
+        });
+        assert_eq!(embeddings.len() as u64, oracle_count(&g, &p, Variant::EdgeInduced));
+        // Every reported embedding is valid.
+        for f in &embeddings {
+            for e in p.edges() {
+                assert!(g.has_edge(f[e.src as usize], f[e.dst as usize], e.label, e.directed));
+            }
+        }
+        // Early stop.
+        let mut seen = 0;
+        exec.enumerate(&mut |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn vertex_induced_negation_filters() {
+        let g = paw();
+        let p = path3();
+        let (count, _) = run(&g, &p, Variant::VertexInduced, RunConfig::default());
+        assert_eq!(count, 4, "paths through the pendant only (oracle-checked value)");
+        assert_eq!(count, oracle_count(&g, &p, Variant::VertexInduced));
+    }
+
+    #[test]
+    fn timeout_flags_partial_results() {
+        // A pathological homomorphic count on a clique would run long;
+        // with a zero time limit it must stop immediately and flag it.
+        let mut gb = GraphBuilder::new();
+        gb.add_unlabeled_vertices(12);
+        for i in 0..12u32 {
+            for j in i + 1..12 {
+                gb.add_undirected_edge(i, j, NO_LABEL).unwrap();
+            }
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        b_chain(&mut pb, 9);
+        let p = pb.build();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::Homomorphic);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::Homomorphic);
+        let mut exec = Executor::new(
+            &catalog,
+            &plan,
+            RunConfig { time_limit: Some(Duration::ZERO), factorize: false, ..Default::default() },
+        );
+        let _ = exec.count();
+        assert!(exec.stats().timed_out);
+    }
+
+    #[test]
+    fn restrictions_break_symmetry_exactly() {
+        // Triangles in K4: 24 mappings, 4 distinct subgraphs. Full orbit
+        // restrictions f(0)<f(1)<f(2) keep one mapping per subgraph.
+        let mut gb = GraphBuilder::new();
+        gb.add_unlabeled_vertices(4);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                gb.add_undirected_edge(i, j, NO_LABEL).unwrap();
+            }
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            pb.add_undirected_edge(a, b, NO_LABEL).unwrap();
+        }
+        let p = pb.build();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+        let mut exec = Executor::new(&catalog, &plan, RunConfig::default())
+            .with_restrictions(&[(0, 1), (1, 2)]);
+        assert_eq!(exec.count(), 4);
+        // Without restrictions: all 24 mappings.
+        let mut plain = Executor::new(&catalog, &plan, RunConfig::default());
+        assert_eq!(plain.count(), 24);
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let mut gb = GraphBuilder::new();
+        gb.add_unlabeled_vertices(30);
+        for i in 0..30u32 {
+            for j in i + 1..30 {
+                if (i * 31 + j * 17) % 5 == 0 {
+                    gb.add_undirected_edge(i, j, NO_LABEL).unwrap();
+                }
+            }
+        }
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        b_chain(&mut pb, 5);
+        let p = pb.build();
+        let gc = build_ccsr(&g);
+        for variant in Variant::ALL {
+            let star = read_csr(&gc, &p, variant);
+            let catalog = Catalog::new(&p, &star);
+            let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+            let sequential = Executor::new(&catalog, &plan, RunConfig::default()).count();
+            for threads in [1usize, 2, 3, 7] {
+                let parallel =
+                    count_parallel(&star, &p, &plan, RunConfig::default(), threads);
+                assert_eq!(parallel, sequential, "{variant} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn root_partitions_sum_exactly() {
+        let g = paw();
+        let p = path3();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+        let full = Executor::new(&catalog, &plan, RunConfig::default()).count();
+        let parts: u64 = (0..3)
+            .map(|offset| {
+                Executor::new(&catalog, &plan, RunConfig::default())
+                    .with_root_partition(3, offset)
+                    .count()
+            })
+            .sum();
+        assert_eq!(parts, full);
+    }
+
+    #[test]
+    fn single_vertex_pattern() {
+        let mut gb = GraphBuilder::new();
+        gb.add_vertex(3);
+        gb.add_vertex(3);
+        gb.add_vertex(4);
+        gb.add_undirected_edge(0, 2, NO_LABEL).unwrap();
+        let g = gb.build();
+        let mut pb = GraphBuilder::new();
+        pb.add_vertex(3);
+        let p = pb.build();
+        let (count, _) = run(&g, &p, Variant::EdgeInduced, RunConfig::default());
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution statistics: what the evaluation section measures per run.
+
+/// Counters collected during one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Embeddings found (count mode: the final count; enumerate mode: the
+    /// number of `emit` calls).
+    pub embeddings: u64,
+    /// Candidate-set reuses via SCE signatures.
+    pub sce_cache_hits: u64,
+    /// Candidate sets computed from scratch.
+    pub candidate_computations: u64,
+    /// Candidates tried (post injectivity filter).
+    pub candidates_scanned: u64,
+    /// Recursion nodes visited.
+    pub nodes: u64,
+    /// Factorized `Split` nodes evaluated.
+    pub splits_taken: u64,
+    /// The time limit fired; results are partial.
+    pub timed_out: bool,
+}
+
+impl ExecStats {
+    /// Fraction of candidate-set requests served from the SCE cache.
+    pub fn sce_hit_rate(&self) -> f64 {
+        let total = self.sce_cache_hits + self.candidate_computations;
+        if total == 0 {
+            0.0
+        } else {
+            self.sce_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate() {
+        let mut s = ExecStats::default();
+        assert_eq!(s.sce_hit_rate(), 0.0);
+        s.sce_cache_hits = 3;
+        s.candidate_computations = 1;
+        assert!((s.sce_hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,307 @@
+//! # csce-core
+//!
+//! The CSCE subgraph matching engine — the primary contribution of
+//! *"Large Subgraph Matching: A Comprehensive and Efficient Approach for
+//! Heterogeneous Graphs"* (ICDE 2024) — on top of the `csce-ccsr` index:
+//!
+//! * plan generation (§VI): the Greatest-Constraint-First heuristic with
+//!   CCSR cluster tie-breaking, the candidate-dependency DAG of §V,
+//!   descendant sizes, and the Largest-Descendant-Size-First topological
+//!   order, plus NEC candidate sharing;
+//! * execution (§III): a pipelined worst-case-optimal join that exploits
+//!   Sequential Candidate Equivalence through candidate-set caching and
+//!   factorized counting;
+//! * all three variants: edge-induced, vertex-induced (with cluster-based
+//!   negation) and homomorphic.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csce_core::Engine;
+//! use csce_graph::{GraphBuilder, Variant, NO_LABEL};
+//!
+//! // A triangle data graph and a wedge (path of 3) pattern.
+//! let mut g = GraphBuilder::new();
+//! g.add_unlabeled_vertices(3);
+//! g.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+//! g.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+//! g.add_undirected_edge(2, 0, NO_LABEL).unwrap();
+//! let g = g.build();
+//!
+//! let mut p = GraphBuilder::new();
+//! p.add_unlabeled_vertices(3);
+//! p.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+//! p.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+//! let p = p.build();
+//!
+//! let engine = Engine::build(&g); // offline: cluster G into CCSR form
+//! assert_eq!(engine.count(&p, Variant::EdgeInduced), 6);
+//! assert_eq!(engine.count(&p, Variant::VertexInduced), 0);
+//! ```
+
+pub mod bitset;
+pub mod catalog;
+pub mod exec;
+pub mod plan;
+
+pub use catalog::Catalog;
+pub use exec::{count_parallel, ExecStats, Executor, RunConfig};
+pub use plan::{Plan, Planner, PlannerConfig, SceAnalysis};
+
+use csce_ccsr::{build_ccsr, read_csr, Ccsr};
+use csce_graph::{Graph, Variant, VertexId};
+use std::time::{Duration, Instant};
+
+/// Timing and outcome of one full query (read → plan → execute), the
+/// decomposition Fig. 6 / Fig. 11 report.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Number of embeddings found.
+    pub count: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Static SCE analysis of the chosen plan.
+    pub sce: SceAnalysis,
+    /// Time spent in `ReadCSR` (cluster selection + decompression).
+    pub read_time: Duration,
+    /// Time spent generating the plan (GCF + DAG + LDSF + NEC).
+    pub plan_time: Duration,
+    /// Time spent finding embeddings.
+    pub exec_time: Duration,
+    /// Decoded working-set size in bytes (`G_C^*`).
+    pub read_bytes: usize,
+}
+
+impl QueryOutput {
+    /// Total online time (read + plan + execute).
+    pub fn total_time(&self) -> Duration {
+        self.read_time + self.plan_time + self.exec_time
+    }
+
+    /// Embeddings per second of total time — the paper's throughput metric
+    /// (§VII-B).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.count as f64 / secs
+        }
+    }
+}
+
+/// The top-level engine: owns the clustered data graph (`G_C`) and
+/// answers matching tasks against it.
+pub struct Engine {
+    ccsr: Ccsr,
+}
+
+impl Engine {
+    /// Offline stage: cluster a data graph into CCSR form. The graph
+    /// itself is not retained (`G_C` is equivalent to `G`).
+    pub fn build(g: &Graph) -> Engine {
+        Engine { ccsr: build_ccsr(g) }
+    }
+
+    /// Wrap an already-built (e.g. deserialized) `G_C`.
+    pub fn from_ccsr(ccsr: Ccsr) -> Engine {
+        Engine { ccsr }
+    }
+
+    /// The underlying clustered storage.
+    pub fn ccsr(&self) -> &Ccsr {
+        &self.ccsr
+    }
+
+    /// Count all embeddings of `p` under `variant` with default settings.
+    pub fn count(&self, p: &Graph, variant: Variant) -> u64 {
+        self.run(p, variant, PlannerConfig::csce(), RunConfig::default()).count
+    }
+
+    /// Full query with explicit planner and runtime configuration,
+    /// returning the per-stage timing decomposition.
+    pub fn run(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        planner: PlannerConfig,
+        run: RunConfig,
+    ) -> QueryOutput {
+        let t0 = Instant::now();
+        let star = read_csr(&self.ccsr, p, variant);
+        let read_time = t0.elapsed();
+        let read_bytes = star.heap_bytes();
+        let catalog = Catalog::new(p, &star);
+        let t1 = Instant::now();
+        let plan = Planner::new(planner).plan(&catalog, variant);
+        let plan_time = t1.elapsed();
+        let t2 = Instant::now();
+        let mut exec = Executor::new(&catalog, &plan, run);
+        let count = exec.count();
+        let exec_time = t2.elapsed();
+        QueryOutput {
+            count,
+            stats: exec.stats().clone(),
+            sce: plan.sce.clone(),
+            read_time,
+            plan_time,
+            exec_time,
+            read_bytes,
+        }
+    }
+
+    /// Generate (and return) just the plan, without executing — the
+    /// plan-scalability experiments (Fig. 10) time exactly this.
+    pub fn plan(&self, p: &Graph, variant: Variant, config: PlannerConfig) -> Plan {
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        Planner::new(config).plan(&catalog, variant)
+    }
+
+    /// Count *distinct subgraphs* (embeddings up to pattern automorphism)
+    /// under an injective variant: symmetry-breaking ordering restrictions
+    /// keep exactly one mapping per orbit, so
+    /// `count_subgraphs * |Aut(P)| == count`.
+    ///
+    /// CSCE's own optimization never uses symmetry breaking (Finding 2 —
+    /// restriction generation is factorial on symmetric patterns), so this
+    /// is an opt-in application-level API; the EMAIL-EU case study's
+    /// clique counting uses it.
+    pub fn count_subgraphs(&self, p: &Graph, variant: Variant) -> u64 {
+        assert!(
+            variant.injective(),
+            "distinct-subgraph counting needs an injective variant"
+        );
+        let (restrictions, _aut) = csce_graph::automorphism::stabilizer_restrictions(p);
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        let mut exec = Executor::new(&catalog, &plan, RunConfig::default())
+            .with_restrictions(&restrictions);
+        exec.count()
+    }
+
+    /// Count all embeddings across `threads` worker threads (root
+    /// candidates partitioned round-robin). Exact — partials sum to the
+    /// sequential count.
+    pub fn count_parallel(&self, p: &Graph, variant: Variant, threads: usize) -> u64 {
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        drop(catalog);
+        exec::count_parallel(&star, p, &plan, RunConfig::default(), threads)
+    }
+
+    /// Enumerate embeddings; `emit` receives the mapping array and returns
+    /// whether to continue.
+    pub fn enumerate(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        emit: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> ExecStats {
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        let mut exec = Executor::new(&catalog, &plan, RunConfig::default());
+        exec.enumerate(emit);
+        exec.stats().clone()
+    }
+
+    /// Collect all embeddings as mapping arrays, sorted (test helper; the
+    /// result can be huge — prefer [`Engine::enumerate`] in applications).
+    pub fn embeddings(&self, p: &Graph, variant: Variant) -> Vec<Vec<VertexId>> {
+        let mut out = Vec::new();
+        self.enumerate(p, variant, &mut |f| {
+            out.push(f.to_vec());
+            true
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::{oracle_embeddings, GraphBuilder, NO_LABEL};
+
+    fn paw() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for (a, c) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_undirected_edge(a, c, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn engine_embeddings_match_oracle_exactly() {
+        let g = paw();
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        pb.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        let p = pb.build();
+        let engine = Engine::build(&g);
+        for variant in Variant::ALL {
+            assert_eq!(
+                engine.embeddings(&p, variant),
+                oracle_embeddings(&g, &p, variant),
+                "{variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_stage_times() {
+        let g = paw();
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(2);
+        pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        let p = pb.build();
+        let engine = Engine::build(&g);
+        let out = engine.run(&p, Variant::EdgeInduced, PlannerConfig::csce(), RunConfig::default());
+        assert_eq!(out.count, 8); // 4 undirected edges, both directions
+        assert!(out.total_time() >= out.exec_time);
+        assert!(out.read_bytes > 0);
+        assert!(out.throughput() > 0.0);
+    }
+
+    #[test]
+    fn subgraph_counts_divide_mapping_counts() {
+        let g = paw();
+        // Triangle pattern: 6 mappings, |Aut| = 6 -> 1 subgraph.
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        for (a, c) in [(0, 1), (1, 2), (2, 0)] {
+            pb.add_undirected_edge(a, c, NO_LABEL).unwrap();
+        }
+        let p = pb.build();
+        let engine = Engine::build(&g);
+        for variant in [Variant::EdgeInduced, Variant::VertexInduced] {
+            let mappings = engine.count(&p, variant);
+            let subgraphs = engine.count_subgraphs(&p, variant);
+            let aut = csce_graph::automorphism::automorphism_count(&p);
+            assert_eq!(subgraphs * aut, mappings, "{variant}");
+        }
+        assert_eq!(engine.count_subgraphs(&p, Variant::EdgeInduced), 1);
+    }
+
+    #[test]
+    fn persisted_ccsr_round_trips_through_engine() {
+        let g = paw();
+        let engine = Engine::build(&g);
+        let bytes = csce_ccsr::persist::to_bytes(engine.ccsr());
+        let engine2 = Engine::from_ccsr(csce_ccsr::persist::from_bytes(&bytes).unwrap());
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        pb.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        let p = pb.build();
+        assert_eq!(
+            engine.count(&p, Variant::EdgeInduced),
+            engine2.count(&p, Variant::EdgeInduced)
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The candidate-dependency DAG `H` — Algorithm 2 (`BuildDAG`).
+//!
+//! Given a matching order `Φ`, the candidates of a later pattern vertex
+//! depend on the mapping of an earlier one in two ways:
+//!
+//! * **edge dependencies** — the pair is adjacent in `P`: the later
+//!   vertex's candidates are neighbor rows of the earlier one's mapping;
+//! * **negation dependencies** (vertex-induced only) — the pair is *not*
+//!   adjacent in `P` but the data graph contains edges between their
+//!   labels (`∃ α ∈ (Φ[i], Φ[j])*-clusters, |α| > 0`), so induced
+//!   matching must subtract the earlier mapping's data neighbors.
+//!
+//! Two pattern vertices with *no path* between them in `H` have
+//! sequentially equivalent candidates (Definition 1) — the engine reuses
+//! those candidate sets instead of recomputing them.
+//!
+//! One deliberate deviation from the paper's pseudo-code: Algorithm 2
+//! line 7 only adds a negation dependency `(Φ[i], Φ[j])` when some
+//! `Φ[k], k < i` is already a `P`-neighbor of `Φ[j]`. We relax `k < i` to
+//! `k < j` (the later vertex has *some* earlier neighbor, which under a
+//! connected GCF order always holds), because the injectivity-style
+//! re-filtering the paper applies on reuse does not cover cross-mapping
+//! negation: a candidate set computed under one mapping of `Φ[i]` is not
+//! valid for another whenever data edges exist between the two labels.
+//! The relaxation only adds dependency edges, so it is conservative —
+//! everything SCE reuses under our `H` is reused soundly.
+
+use crate::bitset::BitSet;
+use crate::catalog::Catalog;
+use csce_graph::{Variant, VertexId};
+
+/// The dependency DAG over pattern vertices (indexed by vertex id, not by
+/// plan position, so it survives LDSF reordering).
+#[derive(Clone, Debug)]
+pub struct Dag {
+    n: usize,
+    /// Children (outgoing dependency targets) per vertex, deduplicated.
+    out: Vec<Vec<VertexId>>,
+    /// Parents (incoming dependency sources) per vertex, deduplicated.
+    inp: Vec<Vec<VertexId>>,
+    /// Edge dependencies with the pattern-edge index that realizes each:
+    /// `edge_parents[u]` lists `(earlier vertex, pattern edge idx)`.
+    edge_parents: Vec<Vec<(VertexId, usize)>>,
+    /// Negation dependencies: earlier non-neighbors whose labels are ever
+    /// adjacent in the data graph (vertex-induced only; empty otherwise).
+    negation_parents: Vec<Vec<VertexId>>,
+}
+
+/// Algorithm 2: build the dependency DAG for `Φ` under a variant.
+pub fn build_dag(catalog: &Catalog<'_>, phi: &[VertexId], variant: Variant) -> Dag {
+    let p = catalog.pattern();
+    let n = p.n();
+    debug_assert_eq!(phi.len(), n, "Φ must order every pattern vertex");
+    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut inp: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut edge_parents: Vec<Vec<(VertexId, usize)>> = vec![Vec::new(); n];
+    let mut negation_parents: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+
+    // Pattern-edge index lookup per unordered pair, so the Φ² sweep does
+    // not rescan the edge list (keeps 2000-vertex plan generation fast).
+    let mut pair_edges: csce_graph::FxHashMap<(VertexId, VertexId), Vec<usize>> =
+        csce_graph::FxHashMap::default();
+    for (eidx, e) in p.edges().iter().enumerate() {
+        pair_edges.entry((e.src.min(e.dst), e.src.max(e.dst))).or_default().push(eidx);
+    }
+    for j in 1..n {
+        let uj = phi[j];
+        let mut has_earlier_neighbor = false;
+        for &ui in phi.iter().take(j) {
+            if p.connected(ui, uj) {
+                has_earlier_neighbor = true;
+                out[ui as usize].push(uj);
+                inp[uj as usize].push(ui);
+                for &eidx in &pair_edges[&(ui.min(uj), ui.max(uj))] {
+                    edge_parents[uj as usize].push((ui, eidx));
+                }
+            }
+        }
+        if variant == Variant::VertexInduced && has_earlier_neighbor {
+            for &ui in phi.iter().take(j) {
+                if p.connected(ui, uj) {
+                    continue;
+                }
+                if catalog.labels_ever_adjacent(p.label(ui), p.label(uj)) {
+                    out[ui as usize].push(uj);
+                    inp[uj as usize].push(ui);
+                    negation_parents[uj as usize].push(ui);
+                }
+            }
+        }
+    }
+    for list in out.iter_mut().chain(inp.iter_mut()) {
+        list.sort_unstable();
+        list.dedup();
+    }
+    Dag { n, out, inp, edge_parents, negation_parents }
+}
+
+impl Dag {
+    /// Number of pattern vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Children of `u` (vertices whose candidates depend on `u`).
+    #[inline]
+    pub fn children(&self, u: VertexId) -> &[VertexId] {
+        &self.out[u as usize]
+    }
+
+    /// Parents of `u` (vertices `u`'s candidates depend on).
+    #[inline]
+    pub fn parents(&self, u: VertexId) -> &[VertexId] {
+        &self.inp[u as usize]
+    }
+
+    /// `(parent, pattern edge idx)` pairs realizing `u`'s edge
+    /// dependencies; a parent appears once per connecting pattern edge.
+    #[inline]
+    pub fn edge_parents(&self, u: VertexId) -> &[(VertexId, usize)] {
+        &self.edge_parents[u as usize]
+    }
+
+    /// Negation-dependency parents of `u` (vertex-induced only).
+    #[inline]
+    pub fn negation_parents(&self, u: VertexId) -> &[VertexId] {
+        &self.negation_parents[u as usize]
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(|l| l.len()).sum()
+    }
+
+    /// Ancestor bit sets: `anc[u]` contains every vertex with a path to
+    /// `u`. O(V·E/64) via one pass in topological (plan) order.
+    pub fn ancestor_sets(&self, phi: &[VertexId]) -> Vec<BitSet> {
+        let mut anc = vec![BitSet::new(self.n); self.n];
+        for &u in phi {
+            // Parents are all earlier in Φ, so their sets are complete.
+            let mut set = BitSet::new(self.n);
+            for &parent in self.parents(u) {
+                set.insert(parent as usize);
+                set.union_with(&anc[parent as usize]);
+            }
+            anc[u as usize] = set;
+        }
+        anc
+    }
+
+    /// Whether `a` and `b` are independent — no path in either direction —
+    /// given precomputed ancestor sets. Independent vertices have
+    /// sequentially equivalent candidates (Definition 1).
+    pub fn independent(anc: &[BitSet], a: VertexId, b: VertexId) -> bool {
+        a != b
+            && !anc[a as usize].contains(b as usize)
+            && !anc[b as usize].contains(a as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_ccsr::{build_ccsr, read_csr};
+    use csce_graph::{Graph, GraphBuilder, NO_LABEL};
+
+    /// The paper's Fig. 1 pattern P (see csce-graph's graph.rs tests):
+    /// directed edges u1→u2, u1→u3, u1→u6, u7→u1, u2→u4, u5→u2, u6→u5,
+    /// u6→u8 with labels A,B,C,C,B,A,D,A.
+    fn fig1_pattern() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    /// A small data graph with every label pair adjacent except D-D, D-B,
+    /// D-C (D only connects A, as in the paper's example).
+    fn fig1_like_data() -> Graph {
+        let mut b = GraphBuilder::new();
+        // Two vertices per label A,B,C plus one D.
+        for &l in &[0u32, 0, 1, 1, 2, 2, 3] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 2), (0, 4), (1, 3), (2, 4), (2, 3), (4, 5), (0, 1), (6, 0), (6, 1)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn dag_for(variant: Variant) -> (Dag, Vec<VertexId>) {
+        let p = fig1_pattern();
+        let g = fig1_like_data();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, variant);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = (0..8).collect(); // Φ1 = u1..u8
+        let dag = build_dag(&catalog, &phi, variant);
+        (dag, phi)
+    }
+
+    #[test]
+    fn edge_induced_dag_mirrors_pattern_edges() {
+        let (dag, _) = dag_for(Variant::EdgeInduced);
+        // Fig. 5 (a): H has exactly the 8 pattern edges, oriented by Φ1.
+        assert_eq!(dag.edge_count(), 8);
+        assert_eq!(dag.parents(1), &[0]); // u2 depends on u1
+        assert_eq!(dag.parents(4), &[1]); // u5 depends on u2 (u5→u2 edge)
+        assert_eq!(dag.parents(6), &[0]); // u7 depends on u1
+        assert!(dag.negation_parents(3).is_empty());
+    }
+
+    #[test]
+    fn fig5a_independence_of_u3_and_u4() {
+        let (dag, phi) = dag_for(Variant::EdgeInduced);
+        let anc = dag.ancestor_sets(&phi);
+        // The paper: candidates of u3 (id 2) and u4 (id 3) are independent.
+        assert!(Dag::independent(&anc, 2, 3));
+        // But u2 (id 1) depends on u1 (id 0).
+        assert!(!Dag::independent(&anc, 0, 1));
+        // Transitive: u4 (id 3) depends on u1 through u2.
+        assert!(!Dag::independent(&anc, 0, 3));
+    }
+
+    #[test]
+    fn vertex_induced_adds_negation_dependencies() {
+        let (dag_e, _) = dag_for(Variant::EdgeInduced);
+        let (dag_v, _) = dag_for(Variant::VertexInduced);
+        assert!(dag_v.edge_count() > dag_e.edge_count());
+        // u3 (id 2, label C) is not adjacent to u4 (id 3, label C) in P,
+        // and the data graph has C-C edges (4->5), so vertex-induced adds
+        // the dependency.
+        assert!(dag_v.negation_parents(3).contains(&2));
+        // u7 (id 6, label D): D only connects A in the data, so no
+        // negation dependency from u2 (label B, id 1) to u7.
+        assert!(!dag_v.negation_parents(6).contains(&1));
+        // ...but from u6 (label A, id 5) there is one (D-A edges exist).
+        assert!(dag_v.negation_parents(6).contains(&5));
+    }
+
+    #[test]
+    fn edge_parents_carry_pattern_edge_indexes() {
+        let (dag, _) = dag_for(Variant::EdgeInduced);
+        let p = fig1_pattern();
+        for u in 0..8u32 {
+            for &(parent, eidx) in dag.edge_parents(u) {
+                let e = &p.edges()[eidx];
+                assert!(
+                    (e.src, e.dst) == (parent, u) || (e.src, e.dst) == (u, parent),
+                    "edge index consistent with the dependency pair"
+                );
+            }
+        }
+        // u2 (id 1) has two edge parents once u1 and u5 are both earlier:
+        // from u1 (edge u1→u2). u5 (id 4) comes after u2 in Φ1, so only 1.
+        assert_eq!(dag.edge_parents(1).len(), 1);
+    }
+
+    #[test]
+    fn homomorphic_matches_edge_induced_dag() {
+        let (dag_e, _) = dag_for(Variant::EdgeInduced);
+        let (dag_h, _) = dag_for(Variant::Homomorphic);
+        assert_eq!(dag_e.edge_count(), dag_h.edge_count());
+    }
+
+    #[test]
+    fn ancestor_sets_are_transitive() {
+        let (dag, phi) = dag_for(Variant::EdgeInduced);
+        let anc = dag.ancestor_sets(&phi);
+        // u8 (id 7) <- u6 (id 5) <- u5 (id 4) <- u2 (id 1) <- u1 (id 0).
+        assert!(anc[7].contains(5));
+        assert!(anc[7].contains(0));
+        assert!(anc[7].contains(1), "u2 reaches u8 via u5 and u6");
+        assert!(!anc[7].contains(2), "u3 is not an ancestor of u8");
+        assert!(!anc[7].contains(6), "u7 is not an ancestor of u8");
+    }
+}

@@ -1,0 +1,116 @@
+//! `ComputeDescendant` — Algorithm 3.
+//!
+//! The descendant size of a DAG vertex is the number of distinct vertices
+//! reachable from it; it measures how many later mappings depend on the
+//! vertex, i.e. how much work becomes reusable when the vertex is placed
+//! early (the LDSF rationale, §VI). Descendant *sets* are needed, not mere
+//! counts, because children share descendants; the dynamic program unions
+//! child sets bottom-up exactly as the paper's pseudo-code, realized with
+//! bit sets.
+
+use crate::bitset::BitSet;
+use crate::plan::dag::Dag;
+use csce_graph::VertexId;
+
+/// Descendant size (`A_S`) of every pattern vertex.
+pub fn descendant_sizes(dag: &Dag) -> Vec<usize> {
+    let n = dag.n();
+    // Process vertices children-first: repeatedly peel vertices whose
+    // children are all done (reverse Kahn), as in Algorithm 3.
+    let mut remaining_children: Vec<usize> = (0..n).map(|u| dag.children(u as VertexId).len()).collect();
+    let mut ready: Vec<VertexId> = (0..n as VertexId).filter(|&u| remaining_children[u as usize] == 0).collect();
+    let mut sets: Vec<BitSet> = vec![BitSet::new(n); n];
+    let mut done = 0usize;
+    while let Some(u) = ready.pop() {
+        done += 1;
+        // A_D[u] = union over children of ({child} ∪ A_D[child]).
+        let mut set = BitSet::new(n);
+        for &child in dag.children(u) {
+            set.insert(child as usize);
+            set.union_with(&sets[child as usize]);
+        }
+        sets[u as usize] = set;
+        for &parent in dag.parents(u) {
+            remaining_children[parent as usize] -= 1;
+            if remaining_children[parent as usize] == 0 {
+                ready.push(parent);
+            }
+        }
+    }
+    debug_assert_eq!(done, n, "H is acyclic so every vertex is processed");
+    sets.iter().map(|s| s.count()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::plan::dag::build_dag;
+    use csce_ccsr::{build_ccsr, read_csr};
+    use csce_graph::{GraphBuilder, Variant, NO_LABEL};
+
+    /// Build the Fig. 1 pattern's edge-induced DAG under Φ1 = u1..u8 and
+    /// return descendant sizes.
+    fn fig1_descendants() -> Vec<usize> {
+        let mut b = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        let p = b.build();
+        // Data content is irrelevant for the edge-induced DAG; reuse P.
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = (0..8).collect();
+        let dag = build_dag(&catalog, &phi, Variant::EdgeInduced);
+        descendant_sizes(&dag)
+    }
+
+    #[test]
+    fn fig5a_descendant_sizes() {
+        let sizes = fig1_descendants();
+        // H edges under Φ1: u1→{u2,u3,u6,u7}, u2→{u4,u5}, u6→{u5,u8},
+        // u5→ (u5's pattern edge to u2 points backward: u2 earlier) —
+        // direction in H is by Φ order: (u2,u5) since u2 before u5, and
+        // (u2,u4), (u6,u8)... Descendants:
+        // u3 (id 2): none -> 0? The paper's Fig. 5(c) speaks of
+        // descendant size 1 counting the vertex itself... Here leaves have
+        // 0 reachable vertices; the ordering only needs relative sizes.
+        assert_eq!(sizes[2], 0, "u3 is a leaf");
+        assert_eq!(sizes[3], 0, "u4 is a leaf");
+        assert_eq!(sizes[7], 0, "u8 is a leaf");
+        assert_eq!(sizes[6], 0, "u7 is a leaf in H (u1 comes first)");
+        // H edges under Φ1 (earlier → later): u2→u4, u2→u5 (pattern edge
+        // u5→u2 orients forward), u5→u6 (pattern edge u6→u5), u6→u8.
+        // u2 reaches u4, u5, u6, u8 -> 4.
+        assert_eq!(sizes[1], 4);
+        // u6 reaches u8 only -> 1.
+        assert_eq!(sizes[5], 1);
+        // u5 reaches u6 and u8 -> 2.
+        assert_eq!(sizes[4], 2);
+        // u1 reaches all 7 others.
+        assert_eq!(sizes[0], 7);
+    }
+
+    #[test]
+    fn shared_descendants_counted_once() {
+        // Diamond: 0→1, 0→2, 1→3, 2→3. Descendants of 0 = {1,2,3} = 3,
+        // not 4 (3 shared by both branches).
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        let p = b.build();
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = vec![0, 1, 2, 3];
+        let dag = build_dag(&catalog, &phi, Variant::EdgeInduced);
+        let sizes = descendant_sizes(&dag);
+        assert_eq!(sizes, vec![3, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! `GeneratePlan` — Algorithm 4: the Largest-Descendant-Size-First (LDSF)
+//! topological order.
+//!
+//! Different matching orders can induce the same dependency DAG `H`, and
+//! any topological order of `H` is a valid matching order with identical
+//! dependencies. Among the ready vertices (all `H`-parents placed), LDSF
+//! picks the one with the largest descendant size — maximizing how many
+//! later mappings can be reused — and breaks ties by the smallest
+//! connecting-cluster size, then the lowest data-graph label frequency,
+//! then the vertex id (for determinism). Unlike Kahn's algorithm, which
+//! returns an arbitrary topological order, this returns the specific one
+//! the heuristics prefer.
+
+use crate::catalog::Catalog;
+use crate::plan::dag::Dag;
+use csce_graph::VertexId;
+
+/// Algorithm 4: produce the final matching order `Φ*`.
+pub fn ldsf_order(catalog: &Catalog<'_>, dag: &Dag, descendant_size: &[usize]) -> Vec<VertexId> {
+    let n = dag.n();
+    let mut remaining_parents: Vec<usize> =
+        (0..n).map(|u| dag.parents(u as VertexId).len()).collect();
+    let mut ready: Vec<VertexId> =
+        (0..n as VertexId).filter(|&u| remaining_parents[u as usize] == 0).collect();
+    let mut placed = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+
+    while !ready.is_empty() {
+        // Rank the frontier: largest descendant size; ties → smallest
+        // cluster among edges to already-placed neighbors; ties → lowest
+        // label frequency; ties → id. The frontier is small, a linear
+        // scan beats maintaining a priority queue under changing keys.
+        let mut best_idx = 0usize;
+        for i in 1..ready.len() {
+            if prefer(catalog, descendant_size, &placed, ready[i], ready[best_idx]) {
+                best_idx = i;
+            }
+        }
+        let u = ready.swap_remove(best_idx);
+        placed[u as usize] = true;
+        order.push(u);
+        for &child in dag.children(u) {
+            remaining_parents[child as usize] -= 1;
+            if remaining_parents[child as usize] == 0 {
+                ready.push(child);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "H is acyclic, all vertices get placed");
+    order
+}
+
+/// Whether candidate `a` should be picked over `b`.
+fn prefer(
+    catalog: &Catalog<'_>,
+    descendant_size: &[usize],
+    placed: &[bool],
+    a: VertexId,
+    b: VertexId,
+) -> bool {
+    let (da, db) = (descendant_size[a as usize], descendant_size[b as usize]);
+    if da != db {
+        return da > db;
+    }
+    let (ca, cb) = (min_cluster_to_placed(catalog, placed, a), min_cluster_to_placed(catalog, placed, b));
+    if ca != cb {
+        return ca < cb;
+    }
+    let (fa, fb) = (
+        catalog.label_frequency(catalog.pattern().label(a)),
+        catalog.label_frequency(catalog.pattern().label(b)),
+    );
+    if fa != fb {
+        return fa < fb;
+    }
+    a < b
+}
+
+/// The smallest `|I_C|` among clusters of pattern edges between `x` and an
+/// already-placed vertex (`usize::MAX` when there is none, e.g. for the
+/// first vertex).
+fn min_cluster_to_placed(catalog: &Catalog<'_>, placed: &[bool], x: VertexId) -> usize {
+    let mut best = usize::MAX;
+    for (eidx, _) in catalog.incident_edges(x) {
+        let e = &catalog.pattern().edges()[eidx];
+        let other = if e.src == x { e.dst } else { e.src };
+        if placed[other as usize] {
+            best = best.min(catalog.cluster_size(eidx));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dag::build_dag;
+    use crate::plan::descendant::descendant_sizes;
+    use csce_ccsr::{build_ccsr, read_csr};
+    use csce_graph::{Graph, GraphBuilder, Variant, NO_LABEL};
+
+    fn fig1_pattern() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn produces_topological_order_of_h() {
+        let p = fig1_pattern();
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = (0..8).collect();
+        let dag = build_dag(&catalog, &phi, Variant::EdgeInduced);
+        let sizes = descendant_sizes(&dag);
+        let order = ldsf_order(&catalog, &dag, &sizes);
+        assert_eq!(order.len(), 8);
+        let mut pos = [0usize; 8];
+        for (k, &u) in order.iter().enumerate() {
+            pos[u as usize] = k;
+        }
+        for u in 0..8u32 {
+            for &child in dag.children(u) {
+                assert!(pos[u as usize] < pos[child as usize], "H edge respected");
+            }
+        }
+        // u1 (id 0) has the only empty parent set -> first.
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn larger_descendants_come_first_among_ready() {
+        let p = fig1_pattern();
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = (0..8).collect();
+        let dag = build_dag(&catalog, &phi, Variant::EdgeInduced);
+        let sizes = descendant_sizes(&dag);
+        let order = ldsf_order(&catalog, &dag, &sizes);
+        // After u1, ready = {u2, u3, u6, u7} with descendant sizes
+        // {2, 0, 2, 0}: u2/u6 (sizes 2) precede u3/u7 (size 0).
+        let pos = |v: VertexId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(1) < pos(2) && pos(1) < pos(6));
+        assert!(pos(5) < pos(2) && pos(5) < pos(6));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = fig1_pattern();
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let phi: Vec<VertexId> = (0..8).collect();
+        let dag = build_dag(&catalog, &phi, Variant::EdgeInduced);
+        let sizes = descendant_sizes(&dag);
+        assert_eq!(ldsf_order(&catalog, &dag, &sizes), ldsf_order(&catalog, &dag, &sizes));
+    }
+}

@@ -1,0 +1,559 @@
+//! Plan generation: GCF initial order → dependency DAG → SCE analysis →
+//! LDSF fine-tuning → NEC cache sharing → factorized execution tree.
+//!
+//! This is the orange stage of the paper's Fig. 2. The entry point is
+//! [`Planner::plan`]; [`PlannerConfig`] exposes the ablation switches the
+//! plan-quality experiment (Fig. 13) compares: plain RI, RI + cluster
+//! tie-breaks, and full CSCE (clusters + SCE/LDSF).
+
+pub mod dag;
+pub mod descendant;
+pub mod explain;
+pub mod gcf;
+pub mod ldsf;
+pub mod nec;
+
+use crate::bitset::BitSet;
+use crate::catalog::Catalog;
+use csce_graph::{FxHashMap, Variant, VertexId};
+use dag::{build_dag, Dag};
+use descendant::descendant_sizes;
+use gcf::{gcf_order, GcfConfig};
+use ldsf::ldsf_order;
+use nec::nec_classes;
+
+/// Switches for the optimization stages (Fig. 13's plan variants).
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// GCF stage configuration (cluster tie-breaking on/off).
+    pub gcf: GcfConfig,
+    /// Apply LDSF fine-tuning over the dependency DAG; `false` keeps the
+    /// GCF order as `Φ*`.
+    pub ldsf: bool,
+    /// Identify NEC classes and share candidate caches within them.
+    pub nec: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { gcf: GcfConfig::default(), ldsf: true, nec: true }
+    }
+}
+
+impl PlannerConfig {
+    /// Full CSCE optimization (the default).
+    pub fn csce() -> Self {
+        Self::default()
+    }
+
+    /// Plain RI heuristics, no data-graph awareness, no SCE fine-tuning.
+    pub fn ri_only() -> Self {
+        PlannerConfig { gcf: GcfConfig::ri_only(), ldsf: false, nec: false }
+    }
+
+    /// RI rules with CCSR cluster tie-breaking but no LDSF (Fig. 13's
+    /// "RI+Cluster").
+    pub fn ri_cluster() -> Self {
+        PlannerConfig { gcf: GcfConfig::default(), ldsf: false, nec: false }
+    }
+}
+
+/// The factorized execution tree compiled from `Φ*` and `H` for counting:
+/// when the unmatched suffix decomposes into `H`-independent components
+/// whose candidates cannot collide, each component is counted once and the
+/// counts multiply (the executable form of SCE's conditional
+/// independence).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecNode {
+    /// Match `u`, then continue with `next` for every candidate.
+    Seq { u: VertexId, next: Box<ExecNode> },
+    /// Count each independent component and multiply.
+    Split { components: Vec<ExecNode> },
+    /// A complete embedding.
+    Done,
+}
+
+impl ExecNode {
+    /// Number of `Split` nodes in the tree (used by tests and stats).
+    pub fn split_count(&self) -> usize {
+        match self {
+            ExecNode::Done => 0,
+            ExecNode::Seq { next, .. } => next.split_count(),
+            ExecNode::Split { components } => {
+                1 + components.iter().map(|c| c.split_count()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// One induced-matching filter: when extending pattern vertex `u`, any
+/// data arc between the candidate and `parent`'s mapping that is *not* in
+/// `allowed` (the pattern's pair code seen from `parent`) disqualifies the
+/// candidate. Unconnected pairs have an empty `allowed` — pure negation;
+/// connected pairs reject extra arcs (e.g. an antiparallel data arc).
+#[derive(Clone, Debug)]
+pub struct InducedFilter {
+    pub parent: VertexId,
+    pub allowed: Vec<(csce_graph::graph::Orient, csce_graph::Label)>,
+}
+
+/// Static SCE occurrence statistics of a plan (Fig. 12's measurements).
+#[derive(Clone, Debug, Default)]
+pub struct SceAnalysis {
+    /// Pattern vertices with at least one earlier `H`-independent vertex.
+    pub sce_vertices: usize,
+    /// Of those, vertices where some witnessing pair owes its independence
+    /// to empty `(u_i, u_j)*`-clusters (the paper's "cluster" sub-bars).
+    pub cluster_sce_vertices: usize,
+    /// Total pattern vertices.
+    pub total_vertices: usize,
+    /// Ordered independent pairs `(earlier, later)` in `H`.
+    pub sce_pairs: usize,
+    /// Of those, pairs whose label-pair clusters are empty in the data
+    /// graph (injectivity filtering is free for them).
+    pub cluster_sce_pairs: usize,
+}
+
+impl SceAnalysis {
+    /// Fraction of pattern vertices exhibiting SCE.
+    pub fn sce_fraction(&self) -> f64 {
+        if self.total_vertices == 0 {
+            0.0
+        } else {
+            self.sce_vertices as f64 / self.total_vertices as f64
+        }
+    }
+
+    /// Fraction of SCE vertices whose independence is cluster-driven.
+    pub fn cluster_fraction(&self) -> f64 {
+        if self.sce_vertices == 0 {
+            0.0
+        } else {
+            self.cluster_sce_vertices as f64 / self.sce_vertices as f64
+        }
+    }
+
+    /// Pair-level cluster share: of all independent (SCE) pairs, the
+    /// fraction owing independence to empty clusters — the paper's
+    /// sub-bar ratio.
+    pub fn cluster_pair_fraction(&self) -> f64 {
+        if self.sce_pairs == 0 {
+            0.0
+        } else {
+            self.cluster_sce_pairs as f64 / self.sce_pairs as f64
+        }
+    }
+}
+
+/// A complete matching plan for one `(pattern, variant)` task.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub variant: Variant,
+    /// The final matching order `Φ*` (pattern vertex ids).
+    pub order: Vec<VertexId>,
+    /// Position of each pattern vertex in `Φ*`.
+    pub pos_of: Vec<u32>,
+    /// The dependency DAG `H`.
+    pub dag: Dag,
+    /// NEC class of each pattern vertex.
+    pub nec_class: Vec<u32>,
+    /// Candidate-cache slot of each vertex; NEC-equivalent vertices with
+    /// identical dependency parents share a slot so one computation serves
+    /// the whole class.
+    pub cache_slot: Vec<u32>,
+    /// Number of distinct cache slots.
+    pub slot_count: usize,
+    /// Static SCE occurrence statistics.
+    pub sce: SceAnalysis,
+    /// Factorized execution tree for counting mode.
+    pub root: ExecNode,
+    /// Per-vertex induced-matching filters (vertex-induced only; empty
+    /// lists otherwise).
+    pub induced_filters: Vec<Vec<InducedFilter>>,
+}
+
+/// Plan generator.
+pub struct Planner {
+    pub config: PlannerConfig,
+}
+
+impl Planner {
+    pub fn new(config: PlannerConfig) -> Planner {
+        Planner { config }
+    }
+
+    /// Generate the plan for `catalog.pattern()` under `variant`.
+    pub fn plan(&self, catalog: &Catalog<'_>, variant: Variant) -> Plan {
+        let p = catalog.pattern();
+        assert!(p.n() >= 1, "pattern must have vertices");
+        assert!(p.is_connected(), "pattern must be connected");
+
+        // Stage 1: GCF initial order (with or without cluster tie-breaks).
+        let phi = gcf_order(catalog, self.config.gcf);
+        // Stage 2: dependency DAG.
+        let dag = build_dag(catalog, &phi, variant);
+        // Stage 3: LDSF fine-tuning (a specific topological order of H).
+        let order = if self.config.ldsf {
+            let sizes = descendant_sizes(&dag);
+            ldsf_order(catalog, &dag, &sizes)
+        } else {
+            phi
+        };
+        let mut pos_of = vec![0u32; p.n()];
+        for (k, &u) in order.iter().enumerate() {
+            pos_of[u as usize] = k as u32;
+        }
+
+        // NEC classes and cache-slot assignment.
+        let nec_class = if self.config.nec {
+            nec_classes(p)
+        } else {
+            (0..p.n() as u32).collect()
+        };
+        let (cache_slot, slot_count) = assign_cache_slots(&dag, &nec_class, p.n());
+
+        let sce = analyze_sce(catalog, &dag, &order);
+        let root = build_exec_tree(catalog, &dag, &order, variant);
+        let induced_filters = if variant == Variant::VertexInduced {
+            (0..p.n() as VertexId)
+                .map(|u| {
+                    dag.parents(u)
+                        .iter()
+                        .map(|&parent| InducedFilter {
+                            parent,
+                            allowed: csce_graph::pattern::pair_code(p, parent, u),
+                        })
+                        .collect()
+                })
+                .collect()
+        } else {
+            vec![Vec::new(); p.n()]
+        };
+
+        Plan {
+            variant,
+            order,
+            pos_of,
+            dag,
+            nec_class,
+            cache_slot,
+            slot_count,
+            sce,
+            root,
+            induced_filters,
+        }
+    }
+}
+
+/// NEC-equivalent vertices share a candidate-cache slot when their
+/// dependency parents (edge and negation) are identical, because then
+/// their signatures and candidate sets coincide.
+fn assign_cache_slots(dag: &Dag, nec_class: &[u32], n: usize) -> (Vec<u32>, usize) {
+    let mut groups: FxHashMap<(u32, Vec<VertexId>, Vec<VertexId>), u32> = FxHashMap::default();
+    let mut slots = vec![0u32; n];
+    let mut next = 0u32;
+    for u in 0..n as VertexId {
+        let key = (
+            nec_class[u as usize],
+            dag.parents(u).to_vec(),
+            dag.negation_parents(u).to_vec(),
+        );
+        let slot = *groups.entry(key).or_insert_with(|| {
+            let s = next;
+            next += 1;
+            s
+        });
+        slots[u as usize] = slot;
+    }
+    (slots, next as usize)
+}
+
+/// Fig. 12's static measurement: which vertices have an earlier
+/// `H`-independent vertex, and whether empty clusters make the pair's
+/// injectivity free.
+fn analyze_sce(catalog: &Catalog<'_>, dag: &Dag, order: &[VertexId]) -> SceAnalysis {
+    let anc = dag.ancestor_sets(order);
+    let p = catalog.pattern();
+    let mut sce_vertices = 0usize;
+    let mut cluster_sce = 0usize;
+    let mut sce_pairs = 0usize;
+    let mut cluster_sce_pairs = 0usize;
+    for (k, &u) in order.iter().enumerate() {
+        let mut has_sce = false;
+        let mut via_cluster = false;
+        for &w in order.iter().take(k) {
+            if Dag::independent(&anc, u, w) {
+                has_sce = true;
+                sce_pairs += 1;
+                if !catalog.labels_ever_adjacent(p.label(u), p.label(w)) {
+                    via_cluster = true;
+                    cluster_sce_pairs += 1;
+                }
+            }
+        }
+        if has_sce {
+            sce_vertices += 1;
+            if via_cluster {
+                cluster_sce += 1;
+            }
+        }
+    }
+    SceAnalysis {
+        sce_vertices,
+        cluster_sce_vertices: cluster_sce,
+        total_vertices: order.len(),
+        sce_pairs,
+        cluster_sce_pairs,
+    }
+}
+
+/// Compile `Φ*` into the factorized execution tree.
+///
+/// Component discovery costs O(|suffix| + |E_H|) per sequenced vertex, so
+/// for very large patterns with dense dependency DAGs — where the suffix
+/// essentially never decomposes — we fall back to a plain sequence rather
+/// than pay a quadratic compile cost (the paper's 2000-vertex plans must
+/// generate in seconds, Fig. 10).
+fn build_exec_tree(
+    catalog: &Catalog<'_>,
+    dag: &Dag,
+    order: &[VertexId],
+    variant: Variant,
+) -> ExecNode {
+    if order.len() > 512 && dag.edge_count() > 4 * order.len() {
+        let mut node = ExecNode::Done;
+        for &u in order.iter().rev() {
+            node = ExecNode::Seq { u, next: Box::new(node) };
+        }
+        return node;
+    }
+    build_tree_rec(catalog, dag, order, variant)
+}
+
+fn build_tree_rec(
+    catalog: &Catalog<'_>,
+    dag: &Dag,
+    suffix: &[VertexId],
+    variant: Variant,
+) -> ExecNode {
+    if suffix.is_empty() {
+        return ExecNode::Done;
+    }
+    let components = h_components(dag, suffix);
+    if components.len() > 1 && split_safe(catalog, &components, variant) {
+        return ExecNode::Split {
+            components: components
+                .into_iter()
+                .map(|c| seq_of(catalog, dag, &c, variant))
+                .collect(),
+        };
+    }
+    seq_of(catalog, dag, suffix, variant)
+}
+
+/// Sequence the first vertex, then retry decomposition on the remainder.
+fn seq_of(catalog: &Catalog<'_>, dag: &Dag, list: &[VertexId], variant: Variant) -> ExecNode {
+    ExecNode::Seq {
+        u: list[0],
+        next: Box::new(build_tree_rec(catalog, dag, &list[1..], variant)),
+    }
+}
+
+/// Connected components of `H` restricted to `suffix` (order preserved
+/// within each component).
+fn h_components(dag: &Dag, suffix: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let n = dag.n();
+    let mut in_suffix = BitSet::new(n);
+    for &u in suffix {
+        in_suffix.insert(u as usize);
+    }
+    let mut comp_of: Vec<u32> = vec![u32::MAX; n];
+    let mut next_comp = 0u32;
+    for &u in suffix {
+        if comp_of[u as usize] != u32::MAX {
+            continue;
+        }
+        let comp = next_comp;
+        next_comp += 1;
+        let mut stack = vec![u];
+        comp_of[u as usize] = comp;
+        while let Some(v) = stack.pop() {
+            for &w in dag.children(v).iter().chain(dag.parents(v)) {
+                if in_suffix.contains(w as usize) && comp_of[w as usize] == u32::MAX {
+                    comp_of[w as usize] = comp;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let mut components: Vec<Vec<VertexId>> = vec![Vec::new(); next_comp as usize];
+    for &u in suffix {
+        components[comp_of[u as usize] as usize].push(u);
+    }
+    components
+}
+
+/// Whether counting the components independently and multiplying is sound:
+/// homomorphic matching always (no injectivity); injective variants only
+/// when no label is shared across components, so candidate sets cannot
+/// collide. Cross-component induced constraints are already impossible —
+/// any label-adjacent non-neighbor pair carries a negation dependency and
+/// would have merged the components.
+fn split_safe(catalog: &Catalog<'_>, components: &[Vec<VertexId>], variant: Variant) -> bool {
+    if !variant.injective() {
+        return true;
+    }
+    let p = catalog.pattern();
+    let mut seen: FxHashMap<csce_graph::Label, usize> = FxHashMap::default();
+    for (ci, comp) in components.iter().enumerate() {
+        for &u in comp {
+            match seen.entry(p.label(u)) {
+                std::collections::hash_map::Entry::Occupied(e) if *e.get() != ci => return false,
+                std::collections::hash_map::Entry::Occupied(_) => {}
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(ci);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_ccsr::{build_ccsr, read_csr};
+    use csce_graph::{Graph, GraphBuilder, NO_LABEL};
+
+    fn fig1_pattern() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn plan_for(p: &Graph, g: &Graph, variant: Variant, config: PlannerConfig) -> Plan {
+        let gc = build_ccsr(g);
+        let star = read_csr(&gc, p, variant);
+        let catalog = Catalog::new(p, &star);
+        Planner::new(config).plan(&catalog, variant)
+    }
+
+    #[test]
+    fn plan_is_topological_permutation() {
+        let p = fig1_pattern();
+        let plan = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        for u in 0..8u32 {
+            for &child in plan.dag.children(u) {
+                assert!(plan.pos_of[u as usize] < plan.pos_of[child as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn sce_analysis_finds_independent_regions() {
+        let p = fig1_pattern();
+        let plan = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        // The paper's R1/R2 example: u3 and u4/u5-side candidates are
+        // independent, so several vertices exhibit SCE.
+        assert!(plan.sce.sce_vertices > 0);
+        assert!(plan.sce.sce_fraction() > 0.3);
+        assert_eq!(plan.sce.total_vertices, 8);
+    }
+
+    #[test]
+    fn exec_tree_splits_star_leaves() {
+        // Star with distinct-label leaves: after the center, every leaf is
+        // its own H-component with disjoint labels -> full split.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(2);
+        b.add_vertex(3);
+        for leaf in 1..4 {
+            b.add_undirected_edge(0, leaf, NO_LABEL).unwrap();
+        }
+        let p = b.build();
+        let plan = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        assert_eq!(plan.root.split_count(), 1);
+        match &plan.root {
+            ExecNode::Seq { next, .. } => match next.as_ref() {
+                ExecNode::Split { components } => assert_eq!(components.len(), 3),
+                other => panic!("expected split after center, got {other:?}"),
+            },
+            other => panic!("expected Seq root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_label_leaves_do_not_split_when_injective() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(0, 2, NO_LABEL).unwrap();
+        let p = b.build();
+        let plan_e = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        assert_eq!(plan_e.root.split_count(), 0, "injective: shared label blocks split");
+        let plan_h = plan_for(&p, &p, Variant::Homomorphic, PlannerConfig::csce());
+        assert_eq!(plan_h.root.split_count(), 1, "homomorphic: split is safe");
+    }
+
+    #[test]
+    fn nec_leaves_share_cache_slots() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(0, 2, NO_LABEL).unwrap();
+        let p = b.build();
+        let plan = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        assert_eq!(plan.cache_slot[1], plan.cache_slot[2]);
+        assert_ne!(plan.cache_slot[0], plan.cache_slot[1]);
+        assert_eq!(plan.slot_count, 2);
+        let no_nec = plan_for(
+            &p,
+            &p,
+            Variant::EdgeInduced,
+            PlannerConfig { nec: false, ..PlannerConfig::csce() },
+        );
+        assert_eq!(no_nec.slot_count, 3);
+    }
+
+    #[test]
+    fn config_presets_differ() {
+        let p = fig1_pattern();
+        let full = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::csce());
+        let ri = plan_for(&p, &p, Variant::EdgeInduced, PlannerConfig::ri_only());
+        // Both are valid permutations; they need not agree.
+        assert_eq!(full.order.len(), ri.order.len());
+        assert!(ri.slot_count == 8, "no NEC sharing in RI preset");
+    }
+
+    #[test]
+    fn vertex_induced_plan_has_negation_parents() {
+        let p = fig1_pattern();
+        // Use a data graph where C-C edges exist so u3-u4 gets a negation
+        // dependency: P itself has no C-C edge, so build a richer G.
+        let mut gb = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0, 2] {
+            gb.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7), (2, 8), (3, 8)] {
+            gb.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        let g = gb.build();
+        let plan = plan_for(&p, &g, Variant::VertexInduced, PlannerConfig::csce());
+        let has_negation = (0..8u32).any(|u| !plan.dag.negation_parents(u).is_empty());
+        assert!(has_negation);
+    }
+}

@@ -1,0 +1,155 @@
+//! Neighborhood Equivalence Classes (NEC) over pattern vertices.
+//!
+//! TurboISO's NEC concept, which CSCE applies at the end of optimization
+//! (§III): two pattern vertices with the same label and identical
+//! neighborhoods (up to each other) always have identical candidate sets,
+//! so the executor computes the set once per class and shares it. The
+//! classic example is a star's leaves; the known limitation — a cycle's
+//! vertices are pairwise inequivalent — is what SCE goes beyond.
+
+use csce_graph::graph::{Graph, Orient};
+use csce_graph::pattern::pair_code;
+use csce_graph::{Label, VertexId};
+
+/// A neighborhood entry used for equivalence comparison.
+type NbrSig = (VertexId, Orient, Label);
+
+/// Compute the NEC class of every pattern vertex. Classes are numbered
+/// densely from 0; `class[u] == class[w]` iff `u` and `w` are
+/// neighborhood-equivalent.
+pub fn nec_classes(p: &Graph) -> Vec<u32> {
+    let n = p.n();
+    let sigs: Vec<Vec<NbrSig>> = (0..n as VertexId)
+        .map(|u| p.adj(u).iter().map(|a| (a.nbr, a.orient, a.elabel)).collect())
+        .collect();
+    let mut class: Vec<u32> = vec![u32::MAX; n];
+    let mut reps: Vec<VertexId> = Vec::new();
+    for u in 0..n as VertexId {
+        let mut assigned = None;
+        for (cid, &rep) in reps.iter().enumerate() {
+            if equivalent(p, &sigs, rep, u) {
+                assigned = Some(cid as u32);
+                break;
+            }
+        }
+        match assigned {
+            Some(cid) => class[u as usize] = cid,
+            None => {
+                class[u as usize] = reps.len() as u32;
+                reps.push(u);
+            }
+        }
+    }
+    class
+}
+
+/// Whether `u` and `w` are neighborhood-equivalent.
+fn equivalent(p: &Graph, sigs: &[Vec<NbrSig>], u: VertexId, w: VertexId) -> bool {
+    if u == w {
+        return true;
+    }
+    if p.label(u) != p.label(w) {
+        return false;
+    }
+    // Their mutual connection must look the same from both sides (e.g. an
+    // undirected edge or antiparallel arcs); a single directed edge makes
+    // them distinguishable.
+    if pair_code(p, u, w) != pair_code(p, w, u) {
+        return false;
+    }
+    // Neighborhoods excluding each other must match exactly.
+    let strip = |list: &[NbrSig], other: VertexId| -> Vec<NbrSig> {
+        list.iter().copied().filter(|&(nbr, _, _)| nbr != other).collect()
+    };
+    strip(&sigs[u as usize], w) == strip(&sigs[w as usize], u)
+}
+
+/// Group vertices by class id: `members[c]` lists the vertices of class `c`.
+pub fn class_members(class: &[u32]) -> Vec<Vec<VertexId>> {
+    let count = class.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut members = vec![Vec::new(); count];
+    for (u, &c) in class.iter().enumerate() {
+        members[c as usize].push(u as VertexId);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    #[test]
+    fn star_leaves_share_a_class() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        for _ in 0..3 {
+            b.add_vertex(1);
+        }
+        for leaf in 1..4 {
+            b.add_undirected_edge(0, leaf, NO_LABEL).unwrap();
+        }
+        let class = nec_classes(&b.build());
+        assert_eq!(class[1], class[2]);
+        assert_eq!(class[2], class[3]);
+        assert_ne!(class[0], class[1]);
+        assert_eq!(class_members(&class).len(), 2);
+    }
+
+    #[test]
+    fn triangle_vertices_are_equivalent() {
+        // Adjacent equivalent vertices (clique NEC): all three triangle
+        // vertices with equal labels.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        for (x, y) in [(0, 1), (1, 2), (0, 2)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        let class = nec_classes(&b.build());
+        assert_eq!(class, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn cycle_limitation_from_the_paper() {
+        // TurboISO's NEC cannot merge a 4-cycle's vertices into one class
+        // even though the cycle is vertex-transitive: neighborhoods differ
+        // as *sets of ids*. Opposite corners (sharing both neighbors) do
+        // merge.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        let class = nec_classes(&b.build());
+        assert_eq!(class[0], class[2], "opposite corners share neighbors");
+        assert_eq!(class[1], class[3]);
+        assert_ne!(class[0], class[1], "adjacent corners do not");
+    }
+
+    #[test]
+    fn labels_and_direction_split_classes() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_edge(0, 1, NO_LABEL).unwrap(); // out-leaf
+        b.add_edge(0, 2, NO_LABEL).unwrap(); // out-leaf
+        b.add_edge(3, 0, NO_LABEL).unwrap(); // in-leaf
+        let class = nec_classes(&b.build());
+        assert_eq!(class[1], class[2], "same-direction leaves merge");
+        assert_ne!(class[1], class[3], "direction splits");
+    }
+
+    #[test]
+    fn edge_labels_split_classes() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_undirected_edge(0, 1, 5).unwrap();
+        b.add_undirected_edge(0, 2, 6).unwrap();
+        let class = nec_classes(&b.build());
+        assert_ne!(class[1], class[2]);
+    }
+}

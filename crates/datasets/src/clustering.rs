@@ -1,0 +1,412 @@
+//! Higher-order graph clustering for the EMAIL-EU case study (§VII-G).
+//!
+//! The pipeline follows Yin et al.'s local higher-order clustering idea
+//! in simplified global form: build a *motif adjacency* where each vertex
+//! pair is weighted by the number of k-clique instances containing both
+//! (found with the CSCE engine, one instance per subgraph via ordering
+//! restrictions), then cluster by weighted label propagation and score
+//! against ground truth with pairwise F1. The edge-based baseline is the
+//! same propagation over raw edges.
+
+use csce_core::{Catalog, Engine, Executor, Planner, PlannerConfig, RunConfig};
+use csce_graph::{FxHashMap, Graph, GraphBuilder, Variant, VertexId, NO_LABEL};
+
+/// Pairwise co-occurrence weights of k-clique instances: for every clique
+/// found, each unordered vertex pair inside it gains weight 1.
+pub fn motif_adjacency(engine: &Engine, k: usize) -> FxHashMap<(VertexId, VertexId), u32> {
+    assert!(k >= 2);
+    let mut pb = GraphBuilder::new();
+    pb.add_unlabeled_vertices(k);
+    for i in 0..k as VertexId {
+        for j in i + 1..k as VertexId {
+            pb.add_undirected_edge(i, j, NO_LABEL).unwrap();
+        }
+    }
+    higher_order_graph(engine, &pb.build(), Variant::EdgeInduced)
+}
+
+/// The paper's introductory `G_P` construction generalized to *any*
+/// pattern: each vertex pair is weighted by the number of distinct
+/// subgraph instances of `P` containing both (§I, higher-order graph
+/// analysis). One instance per subgraph via the pattern's automorphism
+/// restrictions — not one per mapping.
+pub fn higher_order_graph(
+    engine: &Engine,
+    pattern: &Graph,
+    variant: Variant,
+) -> FxHashMap<(VertexId, VertexId), u32> {
+    assert!(variant.injective(), "G_P weights count subgraph instances");
+    let (restrictions, _aut) =
+        csce_graph::automorphism::stabilizer_restrictions(pattern);
+    let star = csce_ccsr::read_csr(engine.ccsr(), pattern, variant);
+    let catalog = Catalog::new(pattern, &star);
+    let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+    let mut exec =
+        Executor::new(&catalog, &plan, RunConfig::default()).with_restrictions(&restrictions);
+    let mut weights: FxHashMap<(VertexId, VertexId), u32> = FxHashMap::default();
+    exec.enumerate(&mut |f| {
+        for i in 0..f.len() {
+            for j in i + 1..f.len() {
+                let key = (f[i].min(f[j]), f[i].max(f[j]));
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+        true
+    });
+    weights
+}
+
+/// Weighted label propagation: every vertex starts in its own cluster and
+/// repeatedly adopts the cluster with the largest incident weight.
+/// Deterministic (fixed vertex order; weight ties go to the larger
+/// cluster id, and a vertex keeps its current cluster when it ties with
+/// the best); stops at convergence or `max_rounds`.
+pub fn label_propagation(
+    n: usize,
+    weights: &FxHashMap<(VertexId, VertexId), u32>,
+    max_rounds: usize,
+) -> Vec<u32> {
+    let mut adj: Vec<Vec<(VertexId, u32)>> = vec![Vec::new(); n];
+    for (&(a, b), &w) in weights {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    let mut cluster: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        let mut tally: FxHashMap<u32, u64> = FxHashMap::default();
+        for v in 0..n {
+            tally.clear();
+            for &(w, weight) in &adj[v] {
+                *tally.entry(cluster[w as usize]).or_insert(0) += weight as u64;
+            }
+            if let Some((&best, _)) = tally
+                .iter()
+                .max_by(|(ca, wa), (cb, wb)| wa.cmp(wb).then(ca.cmp(cb)))
+            {
+                if best != cluster[v] && tally.get(&cluster[v]).copied().unwrap_or(0) < tally[&best]
+                {
+                    cluster[v] = best;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cluster
+}
+
+/// Edge weights of a plain graph (weight 1 per edge) — the edge-based
+/// clustering baseline's input.
+pub fn edge_weights(g: &Graph) -> FxHashMap<(VertexId, VertexId), u32> {
+    let mut w = FxHashMap::default();
+    for e in g.edges() {
+        let key = (e.src.min(e.dst), e.src.max(e.dst));
+        *w.entry(key).or_insert(0) += 1;
+    }
+    w
+}
+
+/// Weighted conductance of a vertex set `S`: `cut(S) / min(vol(S),
+/// vol(V\S))` over the (motif) adjacency weights — the objective of Yin
+/// et al.'s local higher-order clustering, which the paper's case study
+/// builds on.
+pub fn conductance(
+    n: usize,
+    weights: &FxHashMap<(VertexId, VertexId), u32>,
+    set: &[VertexId],
+) -> f64 {
+    let mut in_set = vec![false; n];
+    for &v in set {
+        in_set[v as usize] = true;
+    }
+    let (mut cut, mut vol_s, mut vol_rest) = (0u64, 0u64, 0u64);
+    for (&(a, b), &w) in weights {
+        let w = w as u64;
+        match (in_set[a as usize], in_set[b as usize]) {
+            (true, true) => vol_s += 2 * w,
+            (false, false) => vol_rest += 2 * w,
+            _ => {
+                cut += w;
+                vol_s += w;
+                vol_rest += w;
+            }
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        1.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+/// Local clustering by approximate personalized PageRank + sweep cut over
+/// the weighted (motif) adjacency — the MAPPR recipe: push-based APPR
+/// from the seed, order vertices by `ppr / weighted degree`, return the
+/// prefix with minimum conductance.
+pub fn sweep_cut(
+    n: usize,
+    weights: &FxHashMap<(VertexId, VertexId), u32>,
+    seed: VertexId,
+    alpha: f64,
+    epsilon: f64,
+) -> Vec<VertexId> {
+    let mut adj: Vec<Vec<(VertexId, u32)>> = vec![Vec::new(); n];
+    let mut wdeg: Vec<u64> = vec![0; n];
+    for (&(a, b), &w) in weights {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+        wdeg[a as usize] += w as u64;
+        wdeg[b as usize] += w as u64;
+    }
+    if wdeg[seed as usize] == 0 {
+        return vec![seed];
+    }
+    // Push-based APPR (Andersen–Chung–Lang) on the weighted graph.
+    let mut ppr = vec![0.0f64; n];
+    let mut residual = vec![0.0f64; n];
+    residual[seed as usize] = 1.0;
+    let mut queue = vec![seed];
+    while let Some(v) = queue.pop() {
+        let r = residual[v as usize];
+        let d = wdeg[v as usize] as f64;
+        if d == 0.0 || r < epsilon * d {
+            continue;
+        }
+        ppr[v as usize] += alpha * r;
+        residual[v as usize] = 0.0;
+        let push = (1.0 - alpha) * r;
+        for &(w, weight) in &adj[v as usize] {
+            let dw = wdeg[w as usize] as f64;
+            let before = residual[w as usize];
+            residual[w as usize] += push * (weight as f64) / d;
+            if dw > 0.0 && before < epsilon * dw && residual[w as usize] >= epsilon * dw {
+                queue.push(w);
+            }
+        }
+    }
+    // Sweep: order by ppr / weighted degree, take the minimum-conductance
+    // prefix.
+    let mut ranked: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| ppr[v as usize] > 0.0)
+        .collect();
+    ranked.sort_by(|&a, &b| {
+        let ka = ppr[a as usize] / wdeg[a as usize].max(1) as f64;
+        let kb = ppr[b as usize] / wdeg[b as usize].max(1) as f64;
+        kb.partial_cmp(&ka).unwrap().then(a.cmp(&b))
+    });
+    if ranked.is_empty() {
+        return vec![seed];
+    }
+    let mut best_len = 1usize;
+    let mut best_phi = f64::INFINITY;
+    for len in 1..=ranked.len() {
+        let phi = conductance(n, weights, &ranked[..len]);
+        if phi < best_phi {
+            best_phi = phi;
+            best_len = len;
+        }
+    }
+    ranked.truncate(best_len);
+    ranked.sort_unstable();
+    ranked
+}
+
+/// Pairwise F1 of a clustering against ground truth: precision and recall
+/// over the "same cluster" relation on vertex pairs.
+pub fn pairwise_f1(predicted: &[u32], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    let n = predicted.len();
+    let (mut tp, mut fp, mut fneg) = (0u64, 0u64, 0u64);
+    for a in 0..n {
+        for b in a + 1..n {
+            let same_pred = predicted[a] == predicted[b];
+            let same_true = truth[a] == truth[b];
+            match (same_pred, same_true) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fneg += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fneg) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::generate::planted_partition;
+
+    #[test]
+    fn motif_adjacency_counts_triangles_once() {
+        // K4: each pair is in exactly 2 triangles.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(4);
+        for i in 0..4u32 {
+            for j in i + 1..4 {
+                b.add_undirected_edge(i, j, NO_LABEL).unwrap();
+            }
+        }
+        let g = b.build();
+        let engine = Engine::build(&g);
+        let w = motif_adjacency(&engine, 3);
+        assert_eq!(w.len(), 6);
+        assert!(w.values().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn higher_order_graph_with_path_motif() {
+        // P3 instances in a triangle: 3 distinct wedges (one per center);
+        // every pair belongs to all 3 of them... each wedge contains all
+        // 3 vertices? No: a wedge on a triangle uses all 3 vertices, so
+        // each of the 3 wedges adds weight to each of the 3 pairs -> 3.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        let g = b.build();
+        let engine = Engine::build(&g);
+        let mut pb = GraphBuilder::new();
+        pb.add_unlabeled_vertices(3);
+        pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        pb.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        let wedge = pb.build();
+        let w = higher_order_graph(&engine, &wedge, Variant::EdgeInduced);
+        assert_eq!(w.len(), 3);
+        assert!(w.values().all(|&x| x == 3), "{w:?}");
+        // Consistency: total pair-weight = instances * pairs-per-instance.
+        let instances = engine.count_subgraphs(&wedge, Variant::EdgeInduced);
+        let total: u64 = w.values().map(|&x| x as u64).sum();
+        assert_eq!(total, instances * 3);
+    }
+
+    #[test]
+    fn label_propagation_recovers_two_cliques() {
+        // Two K4s joined by one bridge edge.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_undirected_edge(base + i, base + j, NO_LABEL).unwrap();
+                }
+            }
+        }
+        b.add_undirected_edge(3, 4, NO_LABEL).unwrap();
+        let g = b.build();
+        let clusters = label_propagation(8, &edge_weights(&g), 20);
+        for i in 1..4 {
+            assert_eq!(clusters[0], clusters[i]);
+        }
+        for i in 5..8 {
+            assert_eq!(clusters[4], clusters[i]);
+        }
+        assert_ne!(clusters[0], clusters[4]);
+    }
+
+    #[test]
+    fn f1_bounds() {
+        let truth = vec![0usize, 0, 1, 1];
+        assert!((pairwise_f1(&[5, 5, 9, 9], &truth) - 1.0).abs() < 1e-12);
+        assert_eq!(pairwise_f1(&[1, 2, 3, 4], &truth), 0.0);
+        let partial = pairwise_f1(&[5, 5, 9, 4], &truth);
+        assert!(partial > 0.0 && partial < 1.0);
+    }
+
+    #[test]
+    fn conductance_of_known_cuts() {
+        // Two triangles joined by one edge.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(6);
+        for (x, y) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        let g = b.build();
+        let w = edge_weights(&g);
+        // One triangle: cut 1, vol 7 -> phi = 1/7.
+        let phi = conductance(6, &w, &[0, 1, 2]);
+        assert!((phi - 1.0 / 7.0).abs() < 1e-9, "{phi}");
+        // Whole graph: denom 0 -> 1.0 by convention.
+        assert_eq!(conductance(6, &w, &[0, 1, 2, 3, 4, 5]), 1.0);
+        // A single bridge endpoint is a bad cluster.
+        assert!(conductance(6, &w, &[2]) > phi);
+    }
+
+    #[test]
+    fn sweep_cut_recovers_seed_community() {
+        // Two K5s joined by a single bridge.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(10);
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b.add_undirected_edge(base + i, base + j, NO_LABEL).unwrap();
+                }
+            }
+        }
+        b.add_undirected_edge(4, 5, NO_LABEL).unwrap();
+        let g = b.build();
+        let w = edge_weights(&g);
+        let cluster = sweep_cut(10, &w, 0, 0.15, 1e-6);
+        assert_eq!(cluster, vec![0, 1, 2, 3, 4], "seed community recovered");
+        let cluster2 = sweep_cut(10, &w, 7, 0.15, 1e-6);
+        assert_eq!(cluster2, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sweep_cut_on_motif_weights() {
+        // Motif (triangle) adjacency of two bridged K4s: the bridge edge
+        // carries no triangles, so the motif cut is perfectly clean.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_undirected_edge(base + i, base + j, NO_LABEL).unwrap();
+                }
+            }
+        }
+        b.add_undirected_edge(3, 4, NO_LABEL).unwrap();
+        let g = b.build();
+        let engine = Engine::build(&g);
+        let motif = motif_adjacency(&engine, 3);
+        let cluster = sweep_cut(8, &motif, 1, 0.15, 1e-7);
+        assert_eq!(cluster, vec![0, 1, 2, 3]);
+        assert_eq!(conductance(8, &motif, &cluster), 0.0, "no triangle crosses the bridge");
+    }
+
+    #[test]
+    fn isolated_seed_returns_itself() {
+        let w: FxHashMap<(VertexId, VertexId), u32> = FxHashMap::default();
+        assert_eq!(sweep_cut(3, &w, 2, 0.15, 1e-6), vec![2]);
+    }
+
+    #[test]
+    fn motif_clustering_beats_edges_on_planted_graph() {
+        // Small planted partition with dense-enough groups for triangles.
+        let (g, truth) = planted_partition(120, 4, 12.0, 4.0, 11);
+        let engine = Engine::build(&g);
+        let edge_clusters = label_propagation(g.n(), &edge_weights(&g), 30);
+        let motif = motif_adjacency(&engine, 3);
+        let motif_clusters = label_propagation(g.n(), &motif, 30);
+        let f1_edge = pairwise_f1(&edge_clusters, &truth);
+        let f1_motif = pairwise_f1(&motif_clusters, &truth);
+        // The paper's qualitative claim: higher-order clustering improves
+        // F1 (0.398 -> 0.515 on the real data).
+        assert!(
+            f1_motif >= f1_edge,
+            "motif F1 {f1_motif:.3} should not trail edge F1 {f1_edge:.3}"
+        );
+        assert!(f1_motif > 0.2, "planted structure should be recoverable");
+    }
+}

@@ -1,0 +1,85 @@
+//! The EMAIL-EU case study (§VII-G): department recovery from email
+//! communication via higher-order clustering.
+//!
+//! The real EMAIL-EU network (1,005 members, 42 departments) is stood in
+//! for by a planted-partition graph of the same size whose intra/inter
+//! department densities give comparable clustering difficulty. The case
+//! study compares edge-based clustering F1 against k-clique higher-order
+//! clustering F1 (the paper: 0.398 → 0.515 using 8-cliques) and reports
+//! the clique-finding time.
+
+use crate::clustering::{edge_weights, label_propagation, motif_adjacency, pairwise_f1};
+use csce_core::Engine;
+use csce_graph::generate::planted_partition;
+use csce_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// The EMAIL-EU-like graph and its ground-truth departments.
+pub fn email_eu() -> (Graph, Vec<usize>) {
+    // 1005 members, 42 departments; dense enough inside departments for
+    // 8-cliques to exist (real EMAIL-EU's average degree is ~51).
+    planted_partition(1005, 42, 18.0, 7.0, 0xE0A11)
+}
+
+/// Outcome of the case study.
+#[derive(Clone, Debug)]
+pub struct CaseStudyResult {
+    pub f1_edge: f64,
+    pub f1_motif: f64,
+    pub clique_time: Duration,
+    pub cliques_found: usize,
+    pub clique_size: usize,
+}
+
+/// Run the full case study at a given clique size (the paper uses 8).
+pub fn run_case_study(g: &Graph, truth: &[usize], k: usize) -> CaseStudyResult {
+    let engine = Engine::build(g);
+    let edge_clusters = label_propagation(g.n(), &edge_weights(g), 50);
+    let f1_edge = pairwise_f1(&edge_clusters, truth);
+    let t0 = Instant::now();
+    let motif = motif_adjacency(&engine, k);
+    let clique_time = t0.elapsed();
+    let cliques: u64 = motif.values().map(|&w| w as u64).sum::<u64>() / pairs_per_clique(k);
+    let motif_clusters = label_propagation(g.n(), &motif, 50);
+    let f1_motif = pairwise_f1(&motif_clusters, truth);
+    CaseStudyResult {
+        f1_edge,
+        f1_motif,
+        clique_time,
+        cliques_found: cliques as usize,
+        clique_size: k,
+    }
+}
+
+fn pairs_per_clique(k: usize) -> u64 {
+    (k * (k - 1) / 2) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_graph_shape() {
+        let (g, truth) = email_eu();
+        assert_eq!(g.n(), 1005);
+        assert_eq!(truth.len(), 1005);
+        assert_eq!(truth.iter().copied().max().unwrap(), 41);
+        let avg = g.average_degree();
+        assert!(avg > 15.0 && avg < 40.0, "avg degree {avg:.1}");
+    }
+
+    #[test]
+    fn case_study_with_small_cliques_improves_f1() {
+        // k = 4 keeps the test fast; the bench harness runs k = 8.
+        let (g, truth) = email_eu();
+        let r = run_case_study(&g, &truth, 4);
+        assert!(r.cliques_found > 0, "4-cliques exist in departments");
+        assert!(
+            r.f1_motif >= r.f1_edge,
+            "motif F1 {:.3} vs edge F1 {:.3}",
+            r.f1_motif,
+            r.f1_edge
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # csce-datasets
+//!
+//! Deterministic synthetic stand-ins for the nine public data graphs of
+//! the paper's Table IV, plus the EMAIL-EU case study (§VII-G).
+//!
+//! The real graphs (up to 117M edges) cannot be redistributed or
+//! downloaded here, so each preset reproduces the *shape* that drives the
+//! paper's findings — edge direction, vertex-label count, average degree,
+//! and degree-distribution family (power law for the social/citation
+//! graphs, a low-degree lattice for RoadCA, a dense PPI-like core for
+//! Human) — at a scale where every experiment finishes on one machine.
+//! All presets are seeded and fully deterministic.
+
+pub mod clustering;
+pub mod email;
+pub mod motifs;
+pub mod patterns;
+pub mod presets;
+
+pub use clustering::{
+    conductance, higher_order_graph, label_propagation, motif_adjacency, pairwise_f1,
+    sweep_cut,
+};
+pub use email::{email_eu, CaseStudyResult};
+pub use patterns::{sample_suite, Workload};
+pub use presets::{all_presets, Dataset};

@@ -1,0 +1,139 @@
+//! A catalog of standard unlabeled motifs — the named building blocks of
+//! higher-order analysis (Benson et al.) and of this repository's tests,
+//! examples and benches.
+
+use csce_graph::{Graph, GraphBuilder, VertexId, NO_LABEL};
+
+/// `K_k`: complete graph on `k` vertices.
+pub fn clique(k: usize) -> Graph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(k);
+    for i in 0..k as VertexId {
+        for j in i + 1..k as VertexId {
+            b.add_undirected_edge(i, j, NO_LABEL).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// `P_k`: path on `k` vertices (`k - 1` edges).
+pub fn path(k: usize) -> Graph {
+    assert!(k >= 2);
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(k);
+    for i in 0..k as VertexId - 1 {
+        b.add_undirected_edge(i, i + 1, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// `C_k`: cycle on `k` vertices.
+pub fn cycle(k: usize) -> Graph {
+    assert!(k >= 3);
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(k);
+    for i in 0..k as VertexId {
+        b.add_undirected_edge(i, (i + 1) % k as VertexId, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// `S_l`: star with `l` leaves (vertex 0 is the center).
+pub fn star(leaves: usize) -> Graph {
+    assert!(leaves >= 1);
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(leaves + 1);
+    for leaf in 1..=leaves as VertexId {
+        b.add_undirected_edge(0, leaf, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// Diamond: `K_4` minus one edge.
+pub fn diamond() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(4);
+    for (x, y) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// Paw: a triangle with a pendant edge.
+pub fn paw() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(4);
+    for (x, y) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// House: a 4-cycle with a triangle roof.
+pub fn house() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(5);
+    for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)] {
+        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+/// The directed feed-forward loop (the canonical directed triad motif):
+/// `0 → 1`, `0 → 2`, `1 → 2`.
+pub fn feed_forward_loop() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(3);
+    b.add_edge(0, 1, NO_LABEL).unwrap();
+    b.add_edge(0, 2, NO_LABEL).unwrap();
+    b.add_edge(1, 2, NO_LABEL).unwrap();
+    b.build()
+}
+
+/// Bidirectional two-hop chain (`M6`-style directed motif):
+/// `0 ↔ 1 ↔ 2` as antiparallel arc pairs.
+pub fn bidirectional_chain() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(3);
+    for (x, y) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
+        b.add_edge(x, y, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_graph::automorphism::automorphism_count;
+
+    #[test]
+    fn shapes_and_sizes() {
+        assert_eq!(clique(5).m(), 10);
+        assert_eq!(path(6).m(), 5);
+        assert_eq!(cycle(6).m(), 6);
+        assert_eq!(star(7).n(), 8);
+        assert_eq!(diamond().m(), 5);
+        assert_eq!(paw().m(), 4);
+        assert_eq!(house().m(), 6);
+        assert_eq!(feed_forward_loop().m(), 3);
+        assert_eq!(bidirectional_chain().m(), 4);
+        for g in [clique(4), path(5), cycle(5), star(4), diamond(), paw(), house()] {
+            assert!(g.is_connected());
+            assert!(!g.has_directed_edges());
+        }
+    }
+
+    #[test]
+    fn automorphism_groups_are_the_known_ones() {
+        assert_eq!(automorphism_count(&clique(4)), 24);
+        assert_eq!(automorphism_count(&path(5)), 2);
+        assert_eq!(automorphism_count(&cycle(6)), 12);
+        assert_eq!(automorphism_count(&star(4)), 24);
+        assert_eq!(automorphism_count(&diamond()), 4);
+        assert_eq!(automorphism_count(&paw()), 2);
+        assert_eq!(automorphism_count(&house()), 2);
+        assert_eq!(automorphism_count(&feed_forward_loop()), 1);
+        assert_eq!(automorphism_count(&bidirectional_chain()), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! The nine Table IV data graphs, scaled to laptop size.
+//!
+//! Each preset documents the substitution: the paper's statistics → the
+//! generator and parameters we use → which shape properties carry the
+//! relevant behaviour. Vertex/edge counts are roughly 1/100–1/1000 of the
+//! originals; label counts, direction and average degree match the paper.
+
+use csce_graph::generate::{chung_lu, road_grid};
+use csce_graph::{Graph, GraphStats};
+
+/// A named synthetic data graph.
+pub struct Dataset {
+    /// The Table IV name this stands in for.
+    pub name: &'static str,
+    pub graph: Graph,
+    /// What the substitution preserves.
+    pub note: &'static str,
+}
+
+impl Dataset {
+    /// The Table IV statistics row of the stand-in.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(&self.graph)
+    }
+}
+
+/// DIP protein–protein interaction network: undirected, unlabeled,
+/// moderate power-law degrees (paper: 4,935 / 21,975, avg 8.9).
+pub fn dip() -> Dataset {
+    Dataset {
+        name: "DIP",
+        graph: chung_lu(1200, 5340, 2.5, 0, 0, false, 0xD1F),
+        note: "undirected unlabeled PPI: power-law hubs, avg degree ~8.9",
+    }
+}
+
+/// Yeast PPI (VEQ): undirected, 71 vertex labels (paper: 3,101 / 12,519).
+pub fn yeast() -> Dataset {
+    Dataset {
+        name: "Yeast",
+        graph: chung_lu(800, 3230, 2.4, 71, 0, false, 0xEA57),
+        note: "undirected, 71 labels, avg degree ~8.1",
+    }
+}
+
+/// Human PPI (RapidMatch): dense, 44 labels (paper: 4,674 / 86,282,
+/// avg 36.9).
+pub fn human() -> Dataset {
+    Dataset {
+        name: "Human",
+        graph: chung_lu(1100, 20300, 2.8, 44, 0, false, 0x4CA),
+        note: "dense PPI: avg degree ~37, 44 labels",
+    }
+}
+
+/// HPRD (VEQ): many labels (paper: 9,303 / 34,998, 304 labels).
+pub fn hprd() -> Dataset {
+    Dataset {
+        name: "HPRD",
+        graph: chung_lu(2300, 8650, 2.5, 304, 0, false, 0x49D),
+        note: "undirected, 304 labels (high label selectivity), avg ~7.5",
+    }
+}
+
+/// RoadCA road network: undirected, unlabeled, near-constant low degree
+/// (paper: 1.97M / 2.77M, avg 2.8, max degree 12).
+pub fn roadca() -> Dataset {
+    Dataset {
+        name: "RoadCA",
+        graph: road_grid(160, 160, 0.7, 0x40AD),
+        note: "lattice with 70% kept edges: avg degree ~2.8, max 4",
+    }
+}
+
+/// Orkut social network (GraphPi): undirected, 50 labels, very dense
+/// hubs (paper: 3.07M / 117M, avg 76.3).
+pub fn orkut() -> Dataset {
+    Dataset {
+        name: "Orkut",
+        graph: chung_lu(4000, 152_000, 2.2, 50, 0, false, 0x0421),
+        note: "heavy-tailed social graph: avg degree ~76, strong hubs",
+    }
+}
+
+/// Patent citation graph (RapidMatch): undirected in Table IV, 20 labels
+/// (paper: 3.77M / 33M, avg 8.8). Also the base graph for Figs. 10–13.
+pub fn patent() -> Dataset {
+    Dataset {
+        name: "Patent",
+        graph: chung_lu(20_000, 88_000, 2.6, 20, 0, false, 0x9A7E),
+        note: "citation-shaped power law, 20 labels, avg ~8.8",
+    }
+}
+
+/// Subcategory (Graphflow): directed, 36 labels (paper: 2.75M / 13.9M,
+/// avg 10.2).
+pub fn subcategory() -> Dataset {
+    Dataset {
+        name: "Subcategory",
+        graph: chung_lu(12_000, 61_000, 2.4, 36, 0, true, 0x5ABC),
+        note: "directed, 36 labels, avg ~10.2",
+    }
+}
+
+/// LiveJournal (Graphflow): directed, unlabeled (paper: 4.0M / 34.7M,
+/// avg 17.3, skewed out-degrees).
+pub fn livejournal() -> Dataset {
+    Dataset {
+        name: "LiveJournal",
+        graph: chung_lu(10_000, 86_500, 2.3, 0, 0, true, 0x11FE),
+        note: "directed unlabeled power law, avg ~17.3",
+    }
+}
+
+/// All nine presets in Table IV order.
+pub fn all_presets() -> Vec<Dataset> {
+    vec![
+        dip(),
+        yeast(),
+        human(),
+        hprd(),
+        roadca(),
+        orkut(),
+        patent(),
+        subcategory(),
+        livejournal(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_match_table4() {
+        for ds in all_presets() {
+            let expected_directed = matches!(ds.name, "Subcategory" | "LiveJournal");
+            assert_eq!(ds.stats().directed, expected_directed, "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn label_counts_match_table4() {
+        let expected = [
+            ("DIP", 0usize),
+            ("Yeast", 71),
+            ("Human", 44),
+            ("HPRD", 304),
+            ("RoadCA", 0),
+            ("Orkut", 50),
+            ("Patent", 20),
+            ("Subcategory", 36),
+            ("LiveJournal", 0),
+        ];
+        for (ds, (name, labels)) in all_presets().iter().zip(expected) {
+            assert_eq!(ds.name, name);
+            let got = ds.stats().label_count;
+            // Random assignment may miss a few labels on small graphs.
+            assert!(
+                got <= labels && got + labels / 10 + 1 >= labels,
+                "{name}: got {got}, want ~{labels}"
+            );
+        }
+    }
+
+    #[test]
+    fn average_degrees_track_the_paper() {
+        let expected = [
+            ("DIP", 8.9),
+            ("Yeast", 8.1),
+            ("Human", 36.9),
+            ("HPRD", 7.5),
+            ("RoadCA", 2.8),
+            ("Orkut", 76.3),
+            ("Patent", 8.8),
+            ("Subcategory", 10.2),
+            ("LiveJournal", 17.3),
+        ];
+        for (ds, (name, avg)) in all_presets().iter().zip(expected) {
+            let got = ds.stats().average_degree;
+            assert!(
+                (got - avg).abs() / avg < 0.25,
+                "{name}: avg degree {got:.1}, paper {avg:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(dip().graph.edges(), dip().graph.edges());
+        assert_eq!(patent().graph.labels(), patent().graph.labels());
+    }
+
+    #[test]
+    fn social_graphs_have_hubs_roads_do_not() {
+        let ork = orkut().graph;
+        let max = (0..ork.n() as u32).map(|v| ork.degree(v)).max().unwrap();
+        assert!((max as f64) > 5.0 * ork.average_degree(), "orkut hub");
+        let road = roadca().graph;
+        let max = (0..road.n() as u32).map(|v| road.degree(v)).max().unwrap();
+        assert!(max <= 4, "road max degree");
+    }
+}

@@ -1,0 +1,224 @@
+//! Automorphism counting for patterns.
+//!
+//! The paper multiplies symmetry-broken result counts by the pattern's
+//! automorphism count to compare against engines that enumerate all
+//! mappings (§VII-B). This module counts automorphisms with a signature-
+//! pruned backtracking search: candidates must agree on label, degree, and
+//! the sorted multiset of `(neighbor label, neighbor degree)` pairs, which
+//! keeps even 100-vertex patterns fast.
+
+use crate::graph::Graph;
+use crate::pattern::pair_code;
+use crate::util::FxHashMap;
+use crate::{Label, VertexId};
+
+/// A cheap isomorphism-invariant vertex signature: label, degree, and
+/// the sorted multiset of (neighbor label, neighbor degree, orientation).
+type Signature = (Label, u32, Vec<(Label, u32, u8)>);
+
+fn signature(g: &Graph, v: VertexId) -> Signature {
+    let mut nbrs: Vec<(Label, u32, u8)> = g
+        .adj(v)
+        .iter()
+        .map(|a| (g.label(a.nbr), g.degree(a.nbr), a.orient as u8))
+        .collect();
+    nbrs.sort_unstable();
+    (g.label(v), g.degree(v), nbrs)
+}
+
+/// Enumerate all automorphisms of `p` as mapping arrays (`σ[u]` is the
+/// image of `u`). Includes the identity. Used by symmetry-breaking
+/// baselines, whose restriction sets are derived from the full group.
+pub fn automorphisms(p: &Graph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    enumerate(p, &mut |f| out.push(f.to_vec()));
+    out
+}
+
+/// Count the automorphisms of `p` (mappings `p ≅ p`, including identity).
+pub fn automorphism_count(p: &Graph) -> u64 {
+    let mut count = 0u64;
+    enumerate(p, &mut |_| count += 1);
+    count
+}
+
+/// Stabilizer-chain symmetry-breaking restrictions (Grochow–Kellis):
+/// ordering constraints `f(a) < f(b)` such that exactly one member of
+/// each automorphism orbit of embeddings survives, plus `|Aut(p)|`.
+///
+/// For each vertex `u` in id order, every other vertex in `u`'s orbit
+/// under the remaining group yields a restriction, then the group shrinks
+/// to `u`'s stabilizer. Used by the GraphPi-style baseline and by
+/// distinct-subgraph counting (`count * |Aut| = mapping count`).
+pub fn stabilizer_restrictions(p: &Graph) -> (Vec<(VertexId, VertexId)>, u64) {
+    let mut group = automorphisms(p);
+    let aut = group.len() as u64;
+    let mut restrictions = Vec::new();
+    for u in 0..p.n() as VertexId {
+        let mut orbit: Vec<VertexId> = group.iter().map(|s| s[u as usize]).collect();
+        orbit.sort_unstable();
+        orbit.dedup();
+        for &w in &orbit {
+            if w != u {
+                restrictions.push((u, w));
+            }
+        }
+        group.retain(|s| s[u as usize] == u);
+    }
+    (restrictions, aut)
+}
+
+fn enumerate(p: &Graph, emit: &mut dyn FnMut(&[VertexId])) {
+    let n = p.n();
+    if n == 0 {
+        emit(&[]);
+        return;
+    }
+    // Group vertices by signature; a vertex can only map onto vertices in
+    // its own signature class.
+    let mut class_of: Vec<u32> = Vec::with_capacity(n);
+    let mut classes: FxHashMap<Signature, u32> = FxHashMap::default();
+    let mut members: Vec<Vec<VertexId>> = Vec::new();
+    for v in 0..n as VertexId {
+        let sig = signature(p, v);
+        let next = members.len() as u32;
+        let id = *classes.entry(sig).or_insert(next);
+        if id == next {
+            members.push(Vec::new());
+        }
+        class_of.push(id);
+        members[id as usize].push(v);
+    }
+    let mut f: Vec<VertexId> = vec![VertexId::MAX; n];
+    let mut used = vec![false; n];
+    descend(p, &class_of, &members, 0, &mut f, &mut used, emit);
+}
+
+fn descend(
+    p: &Graph,
+    class_of: &[u32],
+    members: &[Vec<VertexId>],
+    u: VertexId,
+    f: &mut Vec<VertexId>,
+    used: &mut Vec<bool>,
+    emit: &mut dyn FnMut(&[VertexId]),
+) {
+    if u as usize == p.n() {
+        emit(f);
+        return;
+    }
+    'cands: for &v in &members[class_of[u as usize] as usize] {
+        if used[v as usize] {
+            continue;
+        }
+        for prev in 0..u {
+            if pair_code(p, prev, u) != pair_code(p, f[prev as usize], v) {
+                continue 'cands;
+            }
+        }
+        f[u as usize] = v;
+        used[v as usize] = true;
+        descend(p, class_of, members, u + 1, f, used, emit);
+        used[v as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::NO_LABEL;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(n);
+        for i in 0..n {
+            b.add_undirected_edge(i as u32, ((i + 1) % n) as u32, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                b.add_undirected_edge(i as u32, j as u32, NO_LABEL).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn known_groups() {
+        assert_eq!(automorphism_count(&cycle(5)), 10); // dihedral D5
+        assert_eq!(automorphism_count(&cycle(8)), 16); // dihedral D8
+        assert_eq!(automorphism_count(&clique(4)), 24); // S4
+        assert_eq!(automorphism_count(&clique(5)), 120); // S5
+    }
+
+    #[test]
+    fn labels_break_symmetry() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1); // different labels on a 2-cycle-free edge
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        assert_eq!(automorphism_count(&b.build()), 1);
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(0);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        assert_eq!(automorphism_count(&b.build()), 2);
+    }
+
+    #[test]
+    fn direction_breaks_symmetry() {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        b.add_edge(1, 2, NO_LABEL).unwrap();
+        // Directed path has only the identity (reversal flips directions).
+        assert_eq!(automorphism_count(&b.build()), 1);
+    }
+
+    #[test]
+    fn paper_s3_has_two_automorphisms() {
+        // S3 = path on {u1,u6,u8}, all label A: f1 identity, f2 reversal.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(0);
+        b.add_vertex(0);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        assert_eq!(automorphism_count(&b.build()), 2);
+    }
+
+    #[test]
+    fn moderate_pattern_is_fast() {
+        // A 40-cycle: 80 automorphisms, must terminate quickly thanks to
+        // signature classes.
+        assert_eq!(automorphism_count(&cycle(40)), 80);
+    }
+
+    #[test]
+    fn empty_graph_identity_only() {
+        assert_eq!(automorphism_count(&GraphBuilder::new().build()), 1);
+    }
+
+    #[test]
+    fn enumeration_returns_valid_permutations() {
+        let c = cycle(4);
+        let autos = automorphisms(&c);
+        assert_eq!(autos.len(), 8);
+        assert!(autos.contains(&vec![0, 1, 2, 3]), "identity present");
+        for sigma in &autos {
+            // Each is a permutation preserving edges.
+            let mut sorted = sigma.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            for e in c.edges() {
+                assert!(c.connected(sigma[e.src as usize], sigma[e.dst as usize]));
+            }
+        }
+    }
+}

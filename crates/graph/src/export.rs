@@ -1,0 +1,65 @@
+//! Graphviz DOT export, for eyeballing patterns and small data graphs.
+
+use crate::graph::Graph;
+use crate::NO_LABEL;
+use std::fmt::Write as _;
+
+/// Render a graph in DOT format. Vertex labels become `label="id:l"`;
+/// edge labels annotate edges; undirected edges use `dir=none` so one
+/// digraph carries both kinds.
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for v in 0..g.n() as u32 {
+        let l = g.label(v);
+        if l == NO_LABEL {
+            let _ = writeln!(out, "  v{v} [label=\"{v}\"];");
+        } else {
+            let _ = writeln!(out, "  v{v} [label=\"{v}:{l}\"];");
+        }
+    }
+    for e in g.edges() {
+        let mut attrs: Vec<String> = Vec::new();
+        if e.label != NO_LABEL {
+            attrs.push(format!("label=\"{}\"", e.label));
+        }
+        if !e.directed {
+            attrs.push("dir=none".to_string());
+        }
+        let attr_str =
+            if attrs.is_empty() { String::new() } else { format!(" [{}]", attrs.join(", ")) };
+        let _ = writeln!(out, "  v{} -> v{}{attr_str};", e.src, e.dst);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn dot_includes_all_elements() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(3);
+        b.add_vertex(NO_LABEL);
+        b.add_edge(0, 1, 7).unwrap();
+        let g1 = b.build();
+        let dot = to_dot(&g1, "p");
+        assert!(dot.starts_with("digraph p {"));
+        assert!(dot.contains("v0 [label=\"0:3\"];"));
+        assert!(dot.contains("v1 [label=\"1\"];"));
+        assert!(dot.contains("v0 -> v1 [label=\"7\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn undirected_edges_marked_dir_none() {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(2);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        let dot = to_dot(&b.build(), "u");
+        assert!(dot.contains("v0 -> v1 [dir=none];"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Plain-text graph I/O.
+//!
+//! Two formats are supported:
+//!
+//! * the **CSCE format**, which round-trips every feature of [`Graph`]
+//!   (vertex labels, edge labels, per-edge direction):
+//!
+//!   ```text
+//!   t <n> <m>
+//!   v <id> <label>        # label "-" means unlabeled
+//!   e <src> <dst> <elabel> <d|u>
+//!   ```
+//!
+//! * the **VEQ / RapidMatch `.graph` format** used by the paper's public
+//!   datasets (undirected, vertex-labeled, unlabeled edges):
+//!
+//!   ```text
+//!   t <n> <m>
+//!   v <id> <label> <degree>
+//!   e <u> <v>
+//!   ```
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::{Label, NO_LABEL};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors raised when parsing a graph file.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    /// Parse failure with 1-based line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err<T>(line: usize, msg: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Parse(line, msg.into()))
+}
+
+/// Write a graph in the CSCE format.
+pub fn write_csce<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "t {} {}", g.n(), g.m())?;
+    for v in 0..g.n() as u32 {
+        let l = g.label(v);
+        if l == NO_LABEL {
+            writeln!(w, "v {v} -")?;
+        } else {
+            writeln!(w, "v {v} {l}")?;
+        }
+    }
+    for e in g.edges() {
+        let lab = if e.label == NO_LABEL { "-".to_string() } else { e.label.to_string() };
+        let dir = if e.directed { 'd' } else { 'u' };
+        writeln!(w, "e {} {} {} {}", e.src, e.dst, lab, dir)?;
+    }
+    w.flush()
+}
+
+/// Save a graph in the CSCE format to a file path.
+pub fn save_csce(g: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_csce(g, std::fs::File::create(path)?)
+}
+
+fn parse_label(tok: &str, line: usize) -> Result<Label, IoError> {
+    if tok == "-" {
+        return Ok(NO_LABEL);
+    }
+    tok.parse::<Label>().map_err(|_| IoError::Parse(line, format!("bad label {tok:?}")))
+}
+
+/// Read a graph in the CSCE format.
+pub fn read_csce<R: BufRead>(r: R) -> Result<Graph, IoError> {
+    let mut b = GraphBuilder::new();
+    let mut declared: Option<(usize, usize)> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("t") => {
+                let n = it.next().and_then(|t| t.parse().ok());
+                let m = it.next().and_then(|t| t.parse().ok());
+                match (n, m) {
+                    (Some(n), Some(m)) => declared = Some((n, m)),
+                    _ => return parse_err(lineno, "bad t line"),
+                }
+            }
+            Some("v") => {
+                let id: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(id) => id,
+                    None => return parse_err(lineno, "bad vertex id"),
+                };
+                if id as usize != b.vertex_count() {
+                    return parse_err(lineno, "vertex ids must be dense and in order");
+                }
+                let label = match it.next() {
+                    Some(tok) => parse_label(tok, lineno)?,
+                    None => return parse_err(lineno, "missing vertex label"),
+                };
+                b.add_vertex(label);
+            }
+            Some("e") => {
+                let src: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(x) => x,
+                    None => return parse_err(lineno, "bad edge src"),
+                };
+                let dst: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(x) => x,
+                    None => return parse_err(lineno, "bad edge dst"),
+                };
+                let label = match it.next() {
+                    Some(tok) => parse_label(tok, lineno)?,
+                    None => return parse_err(lineno, "missing edge label"),
+                };
+                let res = match it.next() {
+                    Some("d") => b.add_edge(src, dst, label),
+                    Some("u") => b.add_undirected_edge(src, dst, label),
+                    other => return parse_err(lineno, format!("bad direction {other:?}")),
+                };
+                if let Err(e) = res {
+                    return parse_err(lineno, e.to_string());
+                }
+            }
+            other => return parse_err(lineno, format!("unknown record {other:?}")),
+        }
+    }
+    if let Some((n, m)) = declared {
+        if n != b.vertex_count() || m != b.edge_count() {
+            return parse_err(0, "t line does not match body");
+        }
+    }
+    Ok(b.build())
+}
+
+/// Load a graph in the CSCE format from a file path.
+pub fn load_csce(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_csce(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Read a graph in the VEQ / RapidMatch `.graph` format (undirected,
+/// vertex-labeled, edge-unlabeled). The per-vertex degree column is
+/// validated when present.
+pub fn read_veq<R: BufRead>(r: R) -> Result<Graph, IoError> {
+    let mut b = GraphBuilder::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('t') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("v") => {
+                let id: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(id) => id,
+                    None => return parse_err(lineno, "bad vertex id"),
+                };
+                if id as usize != b.vertex_count() {
+                    return parse_err(lineno, "vertex ids must be dense and in order");
+                }
+                let label: Label = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(l) => l,
+                    None => return parse_err(lineno, "bad vertex label"),
+                };
+                b.add_vertex(label);
+            }
+            Some("e") => {
+                let u: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(x) => x,
+                    None => return parse_err(lineno, "bad edge endpoint"),
+                };
+                let v: u32 = match it.next().and_then(|t| t.parse().ok()) {
+                    Some(x) => x,
+                    None => return parse_err(lineno, "bad edge endpoint"),
+                };
+                if let Err(e) = b.add_undirected_edge(u, v, NO_LABEL) {
+                    return parse_err(lineno, e.to_string());
+                }
+            }
+            other => return parse_err(lineno, format!("unknown record {other:?}")),
+        }
+    }
+    Ok(b.build())
+}
+
+/// Read a SNAP-style whitespace-separated edge list (the format of the
+/// Stanford network collection the paper's RoadCA / EMAIL-EU / LiveJournal
+/// graphs ship in): one `src dst` pair per line, `#` comments, arbitrary
+/// non-dense vertex ids (remapped densely in first-appearance order).
+/// Self loops and duplicate pairs — both common in SNAP dumps — are
+/// silently dropped, matching the usual preprocessing.
+pub fn read_snap<R: BufRead>(r: R, directed: bool) -> Result<Graph, IoError> {
+    let mut b = GraphBuilder::new();
+    let mut id_of: crate::FxHashMap<u64, u32> = crate::FxHashMap::default();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let (Some(a), Some(c)) = (it.next(), it.next()) else {
+            return parse_err(lineno, "expected `src dst`");
+        };
+        let a: u64 = a.parse().map_err(|_| IoError::Parse(lineno, format!("bad id {a:?}")))?;
+        let c: u64 = c.parse().map_err(|_| IoError::Parse(lineno, format!("bad id {c:?}")))?;
+        let mut intern = |raw: u64, b: &mut GraphBuilder| -> u32 {
+            *id_of.entry(raw).or_insert_with(|| b.add_unlabeled_vertices(1))
+        };
+        let (a, c) = (intern(a, &mut b), intern(c, &mut b));
+        if a == c {
+            continue;
+        }
+        let _ = if directed { b.add_edge(a, c, NO_LABEL) } else { b.add_undirected_edge(a, c, NO_LABEL) };
+    }
+    Ok(b.build())
+}
+
+/// Load a SNAP edge list from a file path.
+pub fn load_snap(path: impl AsRef<Path>, directed: bool) -> Result<Graph, IoError> {
+    read_snap(std::io::BufReader::new(std::fs::File::open(path)?), directed)
+}
+
+/// Write a graph in the VEQ `.graph` format. Directions and edge labels are
+/// dropped; intended only for undirected, edge-unlabeled graphs.
+pub fn write_veq<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "t {} {}", g.n(), g.m())?;
+    for v in 0..g.n() as u32 {
+        let l = if g.label(v) == NO_LABEL { 0 } else { g.label(v) };
+        writeln!(w, "v {v} {l} {}", g.degree(v))?;
+    }
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.src, e.dst)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(NO_LABEL);
+        b.add_edge(0, 1, 7).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn csce_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_csce(&g, &mut buf).unwrap();
+        let g2 = read_csce(buf.as_slice()).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(g2.labels(), g.labels());
+        assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn csce_rejects_malformed() {
+        assert!(read_csce("x 1 2\n".as_bytes()).is_err());
+        assert!(read_csce("v 5 0\n".as_bytes()).is_err()); // non-dense id
+        assert!(read_csce("t 1 0\n".as_bytes()).is_err()); // t mismatch
+        assert!(read_csce("v 0 0\nv 1 0\ne 0 1 - x\n".as_bytes()).is_err());
+        assert!(read_csce("v 0 0\ne 0 0 - d\n".as_bytes()).is_err()); // self loop
+    }
+
+    #[test]
+    fn csce_skips_comments_and_blanks() {
+        let text = "# header\n\nt 2 1\nv 0 5\nv 1 -\ne 0 1 - u\n";
+        let g = read_csce(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.label(0), 5);
+        assert_eq!(g.label(1), NO_LABEL);
+    }
+
+    #[test]
+    fn veq_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(3);
+        b.add_vertex(4);
+        b.add_vertex(3);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_veq(&g, &mut buf).unwrap();
+        let g2 = read_veq(buf.as_slice()).unwrap();
+        assert_eq!(g2.n(), 3);
+        assert_eq!(g2.m(), 2);
+        assert_eq!(g2.label(1), 4);
+        assert!(!g2.has_directed_edges());
+    }
+
+    #[test]
+    fn snap_edge_lists() {
+        let text = "# comment\n10 20\n20 30\n10 20\n5 5\n30   10\n";
+        let g = read_snap(text.as_bytes(), false).unwrap();
+        // Ids remapped densely: 10->0, 20->1, 30->2, 5->3; duplicate and
+        // self loop dropped.
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert!(g.connected(0, 1) && g.connected(1, 2) && g.connected(2, 0));
+        assert_eq!(g.degree(3), 0, "the self-loop vertex stays isolated");
+        let d = read_snap("1 2\n2 1\n".as_bytes(), true).unwrap();
+        assert_eq!(d.m(), 2, "antiparallel directed arcs both kept");
+        assert!(read_snap("1\n".as_bytes(), false).is_err());
+        assert!(read_snap("a b\n".as_bytes(), false).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("csce_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csce");
+        save_csce(&g, &path).unwrap();
+        let g2 = load_csce(&path).unwrap();
+        assert_eq!(g2.edges(), g.edges());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,338 @@
+//! A tiny textual pattern language, so queries can be written inline
+//! instead of as edge-list files.
+//!
+//! ```text
+//! (a:0)-[5]->(b:1), (b)--(c:2), (c)<-(a)
+//! ```
+//!
+//! * `(name)` or `(name:label)` declares a pattern vertex; the label is a
+//!   non-negative integer, omitted means unlabeled ([`NO_LABEL`]). A name
+//!   is declared once with its label and referenced afterwards.
+//! * `->` / `<-` are directed edges, `--` undirected.
+//! * an optional `[elabel]` between the dashes labels the edge:
+//!   `-[3]->`, `<-[3]-`, `-[3]-`.
+//! * edges are separated by commas; whitespace is free.
+//!
+//! The grammar is deliberately close to Cypher's ASCII-art patterns, the
+//! lingua franca of the graph databases (Kùzu, Neo4j) the paper situates
+//! itself against.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::util::FxHashMap;
+use crate::{Label, VertexId, NO_LABEL};
+
+/// Errors from [`parse_pattern`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a pattern expression into a [`Graph`].
+pub fn parse_pattern(input: &str) -> Result<Graph, ParseError> {
+    let mut p = ParserImpl::new(input);
+    p.parse()
+}
+
+/// Render a graph back into the pattern language: every vertex is first
+/// declared in id order (pinning the id assignment, which follows first
+/// appearance), then one clause per edge. Parsing the output reproduces
+/// the graph exactly — labels, edge labels, directions, and ids.
+pub fn to_query_string(g: &Graph) -> String {
+    let mut out = String::new();
+    for v in 0..g.n() as VertexId {
+        if v > 0 {
+            out.push_str(", ");
+        }
+        let l = g.label(v);
+        if l == NO_LABEL {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("(v{v})"));
+        } else {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("(v{v}:{l})"));
+        }
+    }
+    for e in g.edges() {
+        let label_part =
+            if e.label == NO_LABEL { String::new() } else { format!("[{}]", e.label) };
+        let arrow = if e.directed {
+            format!("-{label_part}->")
+        } else {
+            format!("-{label_part}-")
+        };
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(", (v{}){}(v{})", e.src, arrow, e.dst),
+        );
+    }
+    out
+}
+
+/// Actual parser implementation (see module docs for the grammar).
+struct ParserImpl<'a> {
+    input: &'a str,
+    pos: usize,
+    builder: GraphBuilder,
+    names: FxHashMap<String, VertexId>,
+    labels: Vec<Label>,
+}
+
+impl<'a> ParserImpl<'a> {
+    fn new(input: &'a str) -> Self {
+        ParserImpl {
+            input,
+            pos: 0,
+            builder: GraphBuilder::new(),
+            names: FxHashMap::default(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, message: message.into() })
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Label, ParseError> {
+        let digits: String = self.rest().chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return self.err("expected a number");
+        }
+        self.pos += digits.len();
+        digits
+            .parse::<Label>()
+            .map_err(|_| ParseError { at: self.pos, message: format!("label {digits:?} out of range") })
+    }
+
+    fn parse_vertex(&mut self) -> Result<VertexId, ParseError> {
+        self.skip_ws();
+        if !self.eat("(") {
+            return self.err("expected '(' starting a vertex");
+        }
+        self.skip_ws();
+        let name: String =
+            self.rest().chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if name.is_empty() {
+            return self.err("expected a vertex name");
+        }
+        self.pos += name.len();
+        self.skip_ws();
+        let label = if self.eat(":") {
+            self.skip_ws();
+            Some(self.parse_number()?)
+        } else {
+            None
+        };
+        self.skip_ws();
+        if !self.eat(")") {
+            return self.err("expected ')' closing a vertex");
+        }
+        match (self.names.get(&name).copied(), label) {
+            (Some(id), None) => Ok(id),
+            (Some(id), Some(l)) if self.labels[id as usize] == l => Ok(id),
+            (Some(_), Some(_)) => {
+                self.err(format!("vertex {name:?} re-declared with a different label"))
+            }
+            (None, label) => {
+                let l = label.unwrap_or(NO_LABEL);
+                let id = self.builder.add_vertex(l);
+                self.labels.push(l);
+                self.names.insert(name, id);
+                Ok(id)
+            }
+        }
+    }
+
+    /// One of `-[l]->`, `<-[l]-`, `-[l]-` (label part optional).
+    /// Returns `(elabel, direction)`: direction -1 = left, 0 = undirected,
+    /// 1 = right.
+    fn parse_edge(&mut self) -> Result<(Label, i8), ParseError> {
+        self.skip_ws();
+        let leftward = self.eat("<-");
+        if !leftward && !self.eat("-") {
+            return self.err("expected an edge ('-', '<-')");
+        }
+        self.skip_ws();
+        let elabel = if self.eat("[") {
+            self.skip_ws();
+            let l = self.parse_number()?;
+            self.skip_ws();
+            if !self.eat("]") {
+                return self.err("expected ']' closing an edge label");
+            }
+            self.skip_ws();
+            l
+        } else {
+            NO_LABEL
+        };
+        if leftward {
+            // `<--` / `<-[l]-`, or the single-dash `<-` directly before a
+            // vertex.
+            if !self.eat("-") && !self.rest().starts_with('(') {
+                return self.err("expected '-' or a vertex completing '<-'");
+            }
+            return Ok((elabel, -1));
+        }
+        if self.eat("->") {
+            Ok((elabel, 1))
+        } else if self.eat("-") || self.rest().starts_with('(') {
+            // '--' form, or a single '-' directly before a vertex.
+            Ok((elabel, 0))
+        } else {
+            self.err("expected '->', '-' or a vertex completing an edge")
+        }
+    }
+
+    fn parse(&mut self) -> Result<Graph, ParseError> {
+        loop {
+            let mut prev = self.parse_vertex()?;
+            // A chain: (a)-(b)->(c)...
+            loop {
+                self.skip_ws();
+                if self.rest().starts_with(',') || self.rest().is_empty() {
+                    break;
+                }
+                let (elabel, dir) = self.parse_edge()?;
+                let next = self.parse_vertex()?;
+                let result = match dir {
+                    1 => self.builder.add_edge(prev, next, elabel),
+                    -1 => self.builder.add_edge(next, prev, elabel),
+                    _ => self.builder.add_undirected_edge(prev, next, elabel),
+                };
+                if let Err(e) = result {
+                    return self.err(e.to_string());
+                }
+                prev = next;
+            }
+            self.skip_ws();
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return self.err("trailing input");
+        }
+        Ok(std::mem::take(&mut self.builder).build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Orient;
+
+    #[test]
+    fn parses_labeled_directed_chain() {
+        let p = parse_pattern("(a:0)-[5]->(b:1)-[6]->(c:2)").unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.m(), 2);
+        assert_eq!(p.label(0), 0);
+        assert_eq!(p.label(2), 2);
+        assert!(p.has_edge(0, 1, 5, true));
+        assert!(p.has_edge(1, 2, 6, true));
+    }
+
+    #[test]
+    fn parses_undirected_and_leftward() {
+        let p = parse_pattern("(a)--(b), (c)<-(a)").unwrap();
+        assert_eq!(p.n(), 3);
+        assert!(p.has_edge(0, 1, NO_LABEL, false));
+        assert!(p.has_edge(0, 2, NO_LABEL, true), "(c)<-(a) is a -> c");
+    }
+
+    #[test]
+    fn leftward_with_edge_label() {
+        let p = parse_pattern("(x:1)<-[9]-(y:2)").unwrap();
+        assert!(p.has_edge(1, 0, 9, true));
+        assert_eq!(p.adj(0)[0].orient, Orient::In);
+    }
+
+    #[test]
+    fn reuses_named_vertices_to_close_cycles() {
+        let p = parse_pattern("(a)-(b)-(c)-(a)").unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.m(), 3);
+        assert!(p.connected(0, 2));
+    }
+
+    #[test]
+    fn relabeling_conflicts_rejected() {
+        assert!(parse_pattern("(a:1)-(b), (a:2)-(b)").is_err());
+        // Same label re-declared is fine.
+        assert!(parse_pattern("(a:1)--(b), (a:1)--(c)").is_ok());
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let e = parse_pattern("(a:1)-").unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+        assert!(parse_pattern("").is_err());
+        assert!(parse_pattern("(a)-(a)").is_err(), "self loop rejected by builder");
+        assert!(parse_pattern("(a)-(b) trailing").is_err());
+        assert!(parse_pattern("(a)-(b)-(a)-(b)").is_err(), "duplicate edge");
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let inputs = [
+            "(a:0)-[5]->(b:1)-[6]->(c:2)",
+            "(a)--(b), (b)--(c), (c)--(a)",
+            "(x:1)<-[9]-(y:2)",
+            "(a:3)-->(b:3), (b)-[1]-(c:4)",
+        ];
+        for input in inputs {
+            let g = parse_pattern(input).unwrap();
+            let rendered = to_query_string(&g);
+            let back = parse_pattern(&rendered).unwrap_or_else(|e| {
+                panic!("rendered {rendered:?} failed to parse: {e}")
+            });
+            assert_eq!(back.labels(), g.labels(), "{input} -> {rendered}");
+            assert_eq!(back.edges(), g.edges(), "{input} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn writer_emits_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(7);
+        let g = b.build();
+        let rendered = to_query_string(&g);
+        assert_eq!(rendered, "(v0:7)");
+        let back = parse_pattern(&rendered).unwrap();
+        assert_eq!(back.labels(), g.labels());
+    }
+
+    #[test]
+    fn whitespace_is_free() {
+        let p = parse_pattern("  ( a : 3 )  - [ 7 ] ->  ( b )  ").unwrap();
+        assert_eq!(p.label(0), 3);
+        assert!(p.has_edge(0, 1, 7, true));
+    }
+}

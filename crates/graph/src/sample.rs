@@ -1,0 +1,211 @@
+//! Pattern sampling from data graphs.
+//!
+//! The paper follows RapidMatch / VEQ / GuP and generates query workloads by
+//! sampling connected subgraphs of the data graph (§VII "Patterns"):
+//! *dense* patterns (average degree > 2) keep all induced edges of a random
+//! walk region, *sparse* patterns keep a spanning tree. Sampling from the
+//! data graph guarantees at least one embedding exists.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::pattern::{classify_density, Density};
+use crate::util::FxHashMap;
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled pattern together with the data vertices it was lifted from
+/// (`image[i]` is the data vertex behind pattern vertex `i`), which is
+/// itself an embedding witness.
+#[derive(Clone, Debug)]
+pub struct SampledPattern {
+    pub pattern: Graph,
+    pub image: Vec<VertexId>,
+}
+
+/// Samples patterns of requested size and density from a data graph.
+pub struct PatternSampler<'g> {
+    g: &'g Graph,
+    rng: StdRng,
+    /// Attempts before giving up on one `sample` call.
+    pub max_attempts: usize,
+}
+
+impl<'g> PatternSampler<'g> {
+    pub fn new(g: &'g Graph, seed: u64) -> Self {
+        PatternSampler { g, rng: StdRng::seed_from_u64(seed), max_attempts: 200 }
+    }
+
+    /// Sample one connected pattern with `size` vertices of the requested
+    /// density class. Returns `None` when the data graph cannot yield one
+    /// (e.g. dense patterns from a tree-like region) within the attempt
+    /// budget.
+    pub fn sample(&mut self, size: usize, density: Density) -> Option<SampledPattern> {
+        assert!(size >= 2, "patterns need at least two vertices");
+        for _ in 0..self.max_attempts {
+            if let Some(result) = self.try_once(size, density) {
+                return Some(result);
+            }
+        }
+        None
+    }
+
+    /// Sample `count` patterns (each may fail independently; failures are
+    /// skipped, so fewer may come back).
+    pub fn sample_many(&mut self, count: usize, size: usize, density: Density) -> Vec<SampledPattern> {
+        (0..count).filter_map(|_| self.sample(size, density)).collect()
+    }
+
+    fn try_once(&mut self, size: usize, density: Density) -> Option<SampledPattern> {
+        let g = self.g;
+        if g.n() < size {
+            return None;
+        }
+        let start = self.rng.gen_range(0..g.n()) as VertexId;
+        if g.degree(start) == 0 {
+            return None;
+        }
+        // Grow a connected region; remember the tree edge that discovered
+        // each vertex for the sparse case.
+        let mut region: Vec<VertexId> = vec![start];
+        let mut in_region: FxHashMap<VertexId, u32> = FxHashMap::default();
+        in_region.insert(start, 0);
+        let mut tree_edges: Vec<(u32, u32)> = Vec::new(); // pattern-local ids
+        while region.len() < size {
+            // Pick a random frontier expansion: random region vertex, then a
+            // random unvisited neighbor.
+            let mut expanded = false;
+            for _ in 0..4 * size {
+                let from_idx = self.rng.gen_range(0..region.len());
+                let from = region[from_idx];
+                let adj = g.adj(from);
+                if adj.is_empty() {
+                    continue;
+                }
+                let pick = adj[self.rng.gen_range(0..adj.len())].nbr;
+                if let std::collections::hash_map::Entry::Vacant(slot) = in_region.entry(pick) {
+                    let local = region.len() as u32;
+                    slot.insert(local);
+                    region.push(pick);
+                    tree_edges.push((from_idx as u32, local));
+                    expanded = true;
+                    break;
+                }
+            }
+            if !expanded {
+                return None; // stuck in a small component
+            }
+        }
+
+        let mut b = GraphBuilder::with_capacity(size, size * 2);
+        for &v in &region {
+            b.add_vertex(g.label(v));
+        }
+        match density {
+            Density::Dense => {
+                // Keep every induced data edge, preserving direction/labels.
+                for (local_a, &va) in region.iter().enumerate() {
+                    for adj in g.adj(va) {
+                        let Some(&local_b) = in_region.get(&adj.nbr) else { continue };
+                        match adj.orient {
+                            crate::graph::Orient::Out => {
+                                let _ = b.add_edge(local_a as u32, local_b, adj.elabel);
+                            }
+                            crate::graph::Orient::Und => {
+                                if (local_a as u32) < local_b {
+                                    let _ = b.add_undirected_edge(local_a as u32, local_b, adj.elabel);
+                                }
+                            }
+                            crate::graph::Orient::In => {} // captured from the other side
+                        }
+                    }
+                }
+            }
+            Density::Sparse => {
+                for &(la, lb) in &tree_edges {
+                    // Copy the concrete data edge between the two region
+                    // vertices (first one if parallel arcs exist).
+                    let (va, vb) = (region[la as usize], region[lb as usize]);
+                    let adj = g.edges_between(va, vb)[0];
+                    match adj.orient {
+                        crate::graph::Orient::Out => b.add_edge(la, lb, adj.elabel).unwrap(),
+                        crate::graph::Orient::In => b.add_edge(lb, la, adj.elabel).unwrap(),
+                        crate::graph::Orient::Und => b.add_undirected_edge(la, lb, adj.elabel).unwrap(),
+                    }
+                }
+            }
+        }
+        let pattern = b.build();
+        if classify_density(&pattern) != density {
+            return None;
+        }
+        debug_assert!(pattern.is_connected());
+        Some(SampledPattern { pattern, image: region })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{chung_lu, road_grid};
+
+    #[test]
+    fn sparse_pattern_is_a_tree_from_grid() {
+        let g = road_grid(30, 30, 0.8, 1);
+        let mut s = PatternSampler::new(&g, 2);
+        let sp = s.sample(8, Density::Sparse).expect("grid yields sparse patterns");
+        assert_eq!(sp.pattern.n(), 8);
+        assert_eq!(sp.pattern.m(), 7, "spanning tree edge count");
+        assert!(sp.pattern.is_connected());
+        assert_eq!(classify_density(&sp.pattern), Density::Sparse);
+    }
+
+    #[test]
+    fn dense_pattern_from_power_law_graph() {
+        let g = chung_lu(500, 4000, 2.2, 4, 0, false, 3);
+        let mut s = PatternSampler::new(&g, 4);
+        let sp = s.sample(8, Density::Dense).expect("dense region exists");
+        assert_eq!(sp.pattern.n(), 8);
+        assert!(sp.pattern.m() > 8, "dense needs avg degree > 2");
+        assert_eq!(classify_density(&sp.pattern), Density::Dense);
+    }
+
+    #[test]
+    fn image_is_a_witness_embedding() {
+        let g = chung_lu(500, 4000, 2.2, 4, 0, false, 7);
+        let mut s = PatternSampler::new(&g, 8);
+        let sp = s.sample(10, Density::Dense).expect("sample");
+        // Every pattern edge must exist between the image vertices.
+        for e in sp.pattern.edges() {
+            let (a, b) = (sp.image[e.src as usize], sp.image[e.dst as usize]);
+            assert!(g.has_edge(a, b, e.label, e.directed));
+        }
+        // Labels carry over.
+        for (i, &v) in sp.image.iter().enumerate() {
+            assert_eq!(sp.pattern.label(i as u32), g.label(v));
+        }
+    }
+
+    #[test]
+    fn labels_preserved_and_deterministic() {
+        let g = chung_lu(300, 1500, 2.5, 6, 0, false, 11);
+        let mut s1 = PatternSampler::new(&g, 5);
+        let mut s2 = PatternSampler::new(&g, 5);
+        let a = s1.sample(6, Density::Sparse).unwrap();
+        let b = s2.sample(6, Density::Sparse).unwrap();
+        assert_eq!(a.pattern.edges(), b.pattern.edges());
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn impossible_requests_return_none() {
+        // A 2x2 grid has only 4 vertices; a 10-vertex pattern cannot exist.
+        let g = road_grid(2, 2, 1.0, 1);
+        let mut s = PatternSampler::new(&g, 1);
+        assert!(s.sample(10, Density::Sparse).is_none());
+        // Dense patterns cannot be sampled from a path (a 20x1 grid).
+        let g = road_grid(20, 1, 1.0, 1);
+        let mut s = PatternSampler::new(&g, 1);
+        s.max_attempts = 50;
+        assert!(s.sample(12, Density::Dense).is_none());
+    }
+}

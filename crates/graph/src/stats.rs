@@ -1,0 +1,106 @@
+//! Dataset statistics — the columns of Table IV in the paper.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a data graph, matching Table IV's columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `U` (all edges undirected) or `D` (some edge directed).
+    pub directed: bool,
+    pub vertex_count: usize,
+    pub edge_count: usize,
+    /// Distinct vertex labels; zero for unlabeled graphs.
+    pub label_count: usize,
+    pub average_degree: f64,
+    pub max_in_degree: usize,
+    pub max_out_degree: usize,
+}
+
+impl GraphStats {
+    /// Compute the Table IV row for a graph.
+    pub fn of(g: &Graph) -> GraphStats {
+        let mut max_in = 0usize;
+        let mut max_out = 0usize;
+        for v in 0..g.n() as u32 {
+            max_in = max_in.max(g.in_arcs(v));
+            max_out = max_out.max(g.out_arcs(v));
+        }
+        GraphStats {
+            directed: g.has_directed_edges(),
+            vertex_count: g.n(),
+            edge_count: g.m(),
+            label_count: g.vertex_label_count(),
+            average_degree: g.average_degree(),
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+        }
+    }
+
+    /// The `U`/`D` edge-direction tag used by Table IV.
+    pub fn direction_tag(&self) -> &'static str {
+        if self.directed {
+            "D"
+        } else {
+            "U"
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} |V|={} |E|={} labels={} avg_deg={:.1} max_in={} max_out={}",
+            self.direction_tag(),
+            self.vertex_count,
+            self.edge_count,
+            self.label_count,
+            self.average_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::NO_LABEL;
+
+    #[test]
+    fn undirected_star_stats() {
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(5);
+        for i in 1..5 {
+            b.add_undirected_edge(0, i, NO_LABEL).unwrap();
+        }
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.direction_tag(), "U");
+        assert_eq!(s.vertex_count, 5);
+        assert_eq!(s.edge_count, 4);
+        assert_eq!(s.label_count, 0);
+        // For undirected graphs max in == max out, as in Table IV.
+        assert_eq!(s.max_in_degree, 4);
+        assert_eq!(s.max_out_degree, 4);
+        assert!((s.average_degree - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn directed_stats_distinguish_in_out() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(1);
+        b.add_vertex(2);
+        b.add_vertex(2);
+        b.add_edge(0, 1, NO_LABEL).unwrap();
+        b.add_edge(0, 2, NO_LABEL).unwrap();
+        b.add_edge(1, 2, NO_LABEL).unwrap();
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.direction_tag(), "D");
+        assert_eq!(s.label_count, 2);
+        assert_eq!(s.max_out_degree, 2); // vertex 0
+        assert_eq!(s.max_in_degree, 2); // vertex 2
+        let display = s.to_string();
+        assert!(display.contains("|V|=3"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The EMAIL-EU case study (paper §VII-G): recover department structure
+//! from email traffic by clustering on k-clique co-occurrence instead of
+//! raw edges. The paper reports pairwise F1 improving from 0.398
+//! (edge-based) to 0.515 (8-clique higher-order) with 8-clique discovery
+//! running in 0.39s under CSCE.
+//!
+//! ```sh
+//! cargo run --release --example higher_order_clustering [k]
+//! ```
+
+use csce::datasets::email::{email_eu, run_case_study};
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let (g, truth) = email_eu();
+    println!(
+        "EMAIL-EU-like network: {} members, {} edges, {} departments",
+        g.n(),
+        g.m(),
+        truth.iter().copied().max().unwrap() + 1
+    );
+    let result = run_case_study(&g, &truth, k);
+    println!("\nedge-based clustering        F1 = {:.3}", result.f1_edge);
+    println!(
+        "{}-clique higher-order        F1 = {:.3}",
+        result.clique_size, result.f1_motif
+    );
+    println!(
+        "{} {}-clique instances found in {:?} (one per subgraph via ordering restrictions)",
+        result.cliques_found, result.clique_size, result.clique_time
+    );
+    if result.f1_motif > result.f1_edge {
+        println!("\nhigher-order clustering wins, as in the paper (0.398 -> 0.515).");
+    } else {
+        println!("\nno improvement on this instance — try a different k.");
+    }
+
+    // Local higher-order clustering (Yin et al.'s actual recipe): seed a
+    // member, run approximate PageRank on the motif adjacency, sweep for
+    // the minimum-conductance prefix.
+    use csce::datasets::{motif_adjacency, sweep_cut};
+    use csce::engine::Engine;
+    let engine = Engine::build(&g);
+    let motif = motif_adjacency(&engine, 3); // triangles for speed
+    let seed = 0u32;
+    let community = sweep_cut(g.n(), &motif, seed, 0.15, 1e-6);
+    let hits = community.iter().filter(|&&v| truth[v as usize] == truth[seed as usize]).count();
+    println!(
+        "\nlocal motif-conductance cluster around member {seed}: {} members, \
+         {hits} share the seed's department ({:.0}% precision)",
+        community.len(),
+        100.0 * hits as f64 / community.len() as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Protein-complex search, the paper's motivating scenario (§I): find
+//! all occurrences of large protein-complex patterns (8+ vertices,
+//! DPCMNE/MIPS-style) in a DIP-like protein–protein interaction network.
+//!
+//! ```sh
+//! cargo run --release --example protein_complexes
+//! ```
+
+use csce::datasets::presets;
+use csce::engine::{Engine, PlannerConfig, RunConfig};
+use csce::graph::sample::PatternSampler;
+use csce::graph::Density;
+use csce::Variant;
+use std::time::Duration;
+
+fn main() {
+    let ds = presets::dip();
+    println!("data graph {} — {}", ds.name, ds.stats());
+    let engine = Engine::build(&ds.graph);
+
+    // "MIPS complexes": in the paper these are curated complexes appearing
+    // at least once in DIP; we sample connected regions of the network the
+    // same way the evaluation workloads are built, sizes 8 and 9 as in
+    // Fig. 9.
+    let mut sampler = PatternSampler::new(&ds.graph, 0xC0FFEE);
+    for size in [8usize, 9] {
+        let complexes = sampler.sample_many(5, size, Density::Sparse);
+        println!("\n=== complexes of size {size} ===");
+        for (i, sp) in complexes.iter().enumerate() {
+            let out = engine.run(
+                &sp.pattern,
+                Variant::EdgeInduced,
+                PlannerConfig::csce(),
+                // Counts reach billions on hub-heavy PPI networks (the
+                // paper's Fig. 9 shows 10^2..10^10 embeddings on DIP), so
+                // cap each complex; partial counts are flagged.
+                RunConfig { time_limit: Some(Duration::from_secs(5)), ..Default::default() },
+            );
+            println!(
+                "complex {i}: |V|={} |E|={}  {} edge-induced occurrences in {:?}{}",
+                sp.pattern.n(),
+                sp.pattern.m(),
+                out.count,
+                out.total_time(),
+                if out.stats.timed_out { "  [timed out — partial]" } else { "" },
+            );
+            // The sampled region itself is always one of the occurrences.
+            assert!(out.count >= 1 || out.stats.timed_out);
+        }
+    }
+
+    // Vertex-induced semantics answer the stricter question "which vertex
+    // sets induce exactly this complex topology".
+    if let Some(sp) = sampler.sample(8, Density::Sparse) {
+        let e = engine.count(&sp.pattern, Variant::EdgeInduced);
+        let v = engine.count(&sp.pattern, Variant::VertexInduced);
+        println!(
+            "\nvariant comparison on one size-8 complex: edge-induced {e}, vertex-induced {v} \
+             (every vertex-induced occurrence is also edge-induced: {})",
+            v <= e
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: build a small heterogeneous data graph, cluster it into
+//! CCSR form, and run all three subgraph matching variants.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use csce::{Engine, GraphBuilder, Variant, NO_LABEL};
+
+fn main() {
+    // A tiny heterogeneous data graph: labels 0 = User, 1 = Post,
+    // 2 = Tag. Directed edges: User -> Post ("wrote", edge label 10),
+    // Post -> Tag ("tagged", edge label 11), User -> User ("follows", 12).
+    let mut g = GraphBuilder::new();
+    let users: Vec<u32> = (0..4).map(|_| g.add_vertex(0)).collect();
+    let posts: Vec<u32> = (0..5).map(|_| g.add_vertex(1)).collect();
+    let tags: Vec<u32> = (0..2).map(|_| g.add_vertex(2)).collect();
+    for (u, p) in [(0, 0), (0, 1), (1, 2), (2, 3), (3, 4), (1, 1)] {
+        g.add_edge(users[u], posts[p], 10).unwrap();
+    }
+    for (p, t) in [(0, 0), (1, 0), (2, 1), (3, 0), (4, 1)] {
+        g.add_edge(posts[p], tags[t], 11).unwrap();
+    }
+    for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 0)] {
+        g.add_edge(users[a], users[b], 12).unwrap();
+    }
+    let g = g.build();
+    println!("data graph: {}", csce::graph::GraphStats::of(&g));
+
+    // Offline stage: cluster the graph. The engine owns G_C; the original
+    // graph is no longer needed.
+    let engine = Engine::build(&g);
+    println!(
+        "clustered into {} CCSR clusters ({} I_C entries)",
+        engine.ccsr().cluster_count(),
+        engine.ccsr().total_ic_len()
+    );
+
+    // Pattern: a user who wrote a post carrying the same tag as a post
+    // written by a user they follow:
+    //   u0(User) -follows-> u1(User), u0 -wrote-> u2(Post),
+    //   u1 -wrote-> u3(Post), u2 -tagged-> u4(Tag) <-tagged- u3.
+    let mut p = GraphBuilder::new();
+    let u0 = p.add_vertex(0);
+    let u1 = p.add_vertex(0);
+    let p0 = p.add_vertex(1);
+    let p1 = p.add_vertex(1);
+    let t = p.add_vertex(2);
+    p.add_edge(u0, u1, 12).unwrap();
+    p.add_edge(u0, p0, 10).unwrap();
+    p.add_edge(u1, p1, 10).unwrap();
+    p.add_edge(p0, t, 11).unwrap();
+    p.add_edge(p1, t, 11).unwrap();
+    let p = p.build();
+
+    for variant in Variant::ALL {
+        let out = engine.run(
+            &p,
+            variant,
+            csce::PlannerConfig::csce(),
+            csce::RunConfig::default(),
+        );
+        println!(
+            "{variant:>15}: {} embeddings  (read {:?}, plan {:?}, exec {:?}, \
+             SCE cache hits {})",
+            out.count, out.read_time, out.plan_time, out.exec_time, out.stats.sce_cache_hits
+        );
+    }
+
+    // Enumerate a few edge-induced embeddings explicitly.
+    println!("\nfirst 3 edge-induced embeddings (pattern vertex -> data vertex):");
+    let mut shown = 0;
+    engine.enumerate(&p, Variant::EdgeInduced, &mut |f| {
+        println!("  {f:?}");
+        shown += 1;
+        shown < 3
+    });
+
+    // Unlabeled patterns work the same way; NO_LABEL matches NO_LABEL.
+    let mut wedge = GraphBuilder::new();
+    wedge.add_unlabeled_vertices(2);
+    wedge.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+    let wedge = wedge.build();
+    println!(
+        "\nunlabeled undirected edge pattern in this graph: {} embeddings \
+         (the graph has no undirected unlabeled edges)",
+        engine.count(&wedge, Variant::EdgeInduced)
+    );
+}

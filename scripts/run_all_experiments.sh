@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerate every recorded exhibit in results/ (see EXPERIMENTS.md).
+# Takes ~45-60 minutes on one core with the default limits.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release --workspace
+mkdir -p results
+export CSCE_TIME_LIMIT=${CSCE_TIME_LIMIT:-10} CSCE_REPEATS=${CSCE_REPEATS:-3}
+for b in table2 table3 table4 fig7 fig8 fig10 fig11 fig12 fig13 fig14 case_study; do
+  echo "=== $b ==="
+  ./target/release/$b > results/$b.txt 2>&1
+done
+CSCE_TIME_LIMIT=3 CSCE_REPEATS=4 ./target/release/fig9 > results/fig9.txt 2>&1
+CSCE_TIME_LIMIT=5 ./target/release/fig6 > results/fig6.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,247 @@
+//! `csce` — command-line front end for the CSCE subgraph matching engine.
+//!
+//! ```text
+//! csce cluster <graph.csce> -o <out.ccsr>         # offline: build + persist G_C
+//! csce stats   <graph.csce|graph.ccsr>            # Table IV-style statistics
+//! csce match   <data> [pattern.csce] [options]    # count / enumerate embeddings
+//!     --query "(a:0)-[5]->(b:1)"  inline pattern instead of a file
+//!     --variant e|v|h      matching variant (default e)
+//!     --enumerate [N]      print embeddings (all, or first N)
+//!     --plan ri|ri+c|csce  planner preset (default csce)
+//!     --time-limit SECS    abort after a budget
+//!     --threads N          parallel counting workers
+//!     --explain            print the plan instead of executing
+//! ```
+//!
+//! Graph files use the CSCE text format (`csce_graph::io`); a `.ccsr`
+//! data file is a persisted cluster set from `csce cluster`.
+
+use csce::engine::{Engine, PlannerConfig, RunConfig};
+use csce::graph::io;
+use csce::{Graph, Variant};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("match") => cmd_match(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `csce help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "csce — large subgraph matching for heterogeneous graphs\n\n\
+         USAGE:\n  csce cluster <graph.csce> -o <out.ccsr>\n  \
+         csce stats <graph.csce|graph.ccsr>\n  \
+         csce match <data.csce|data.ccsr> <pattern.csce | --query \"(a:0)-->(b:1)\">\n            \
+         [--variant e|v|h] [--enumerate [N]] [--plan ri|ri+c|csce]\n            \
+         [--time-limit SECS] [--threads N] [--explain]\n  \
+         csce dot <graph.csce | --query \"...\">"
+    );
+}
+
+/// Load a data graph either as text (clustered on the fly) or as a
+/// persisted `.ccsr` cluster set.
+fn load_engine(path: &str) -> Result<Engine, String> {
+    if path.ends_with(".ccsr") {
+        let ccsr = csce::ccsr::persist::load(path).map_err(|e| e.to_string())?;
+        Ok(Engine::from_ccsr(ccsr))
+    } else {
+        let g = io::load_csce(path).map_err(|e| e.to_string())?;
+        Ok(Engine::build(&g))
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    io::load_csce(path).map_err(|e| e.to_string())
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let (mut input, mut output) = (None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => output = Some(it.next().ok_or("missing -o value")?.clone()),
+            other => input = Some(other.to_string()),
+        }
+    }
+    let input = input.ok_or("usage: csce cluster <graph.csce> -o <out.ccsr>")?;
+    let output = output.ok_or("missing -o <out.ccsr>")?;
+    let g = load_graph(&input)?;
+    let t0 = std::time::Instant::now();
+    let engine = Engine::build(&g);
+    println!(
+        "clustered {} vertices / {} edges into {} clusters in {:?}",
+        g.n(),
+        g.m(),
+        engine.ccsr().cluster_count(),
+        t0.elapsed()
+    );
+    csce::ccsr::persist::save(engine.ccsr(), &output).map_err(|e| e.to_string())?;
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: csce stats <graph>")?;
+    if path.ends_with(".ccsr") {
+        let engine = load_engine(path)?;
+        let gc = engine.ccsr();
+        println!("persisted G_C over {} vertices", gc.n());
+        println!("{}", csce::ccsr::CcsrStats::of(gc));
+    } else {
+        let g = load_graph(path)?;
+        println!("{}", csce::graph::GraphStats::of(&g));
+    }
+    Ok(())
+}
+
+/// `csce dot <graph.csce | --query "...">`: render to Graphviz DOT.
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let g = match args {
+        [flag, q] if flag == "--query" => {
+            csce::graph::query::parse_pattern(q).map_err(|e| e.to_string())?
+        }
+        [path] => load_graph(path)?,
+        _ => return Err("usage: csce dot <graph.csce>  or  csce dot --query \"...\"".into()),
+    };
+    print!("{}", csce::graph::export::to_dot(&g, "g"));
+    Ok(())
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    match s {
+        "e" | "E" | "edge" => Ok(Variant::EdgeInduced),
+        "v" | "V" | "vertex" => Ok(Variant::VertexInduced),
+        "h" | "H" | "hom" => Ok(Variant::Homomorphic),
+        other => Err(format!("unknown variant {other:?} (expected e, v or h)")),
+    }
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut variant = Variant::EdgeInduced;
+    let mut enumerate: Option<u64> = None;
+    let mut planner = PlannerConfig::csce();
+    let mut time_limit = None;
+    let mut explain = false;
+    let mut query: Option<String> = None;
+    let mut threads: usize = 1;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--query" => query = Some(it.next().ok_or("missing --query value")?.clone()),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("missing --threads value")?
+                    .parse()
+                    .map_err(|_| "bad --threads")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--variant" => variant = parse_variant(it.next().ok_or("missing --variant value")?)?,
+            "--enumerate" => {
+                enumerate = Some(match it.peek() {
+                    Some(n) if !n.starts_with("--") => {
+                        it.next().unwrap().parse().map_err(|_| "bad --enumerate count")?
+                    }
+                    _ => u64::MAX,
+                });
+            }
+            "--plan" => {
+                planner = match it.next().ok_or("missing --plan value")?.as_str() {
+                    "ri" => PlannerConfig::ri_only(),
+                    "ri+c" => PlannerConfig::ri_cluster(),
+                    "csce" => PlannerConfig::csce(),
+                    other => return Err(format!("unknown planner {other:?}")),
+                };
+            }
+            "--time-limit" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("missing --time-limit value")?
+                    .parse()
+                    .map_err(|_| "bad --time-limit")?;
+                time_limit = Some(Duration::from_secs_f64(secs));
+            }
+            "--explain" => explain = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => positional.push(a),
+        }
+    }
+    let (data, p) = match (positional.as_slice(), query) {
+        ([data], Some(q)) => {
+            let p = csce::graph::query::parse_pattern(&q).map_err(|e| e.to_string())?;
+            (*data, p)
+        }
+        ([data, pattern], None) => (*data, load_graph(pattern)?),
+        _ => {
+            return Err(
+                "usage: csce match <data> <pattern>  or  csce match <data> --query \"...\""
+                    .to_string(),
+            )
+        }
+    };
+    let engine = load_engine(data)?;
+    if !p.is_connected() {
+        return Err("pattern must be connected".to_string());
+    }
+
+    if explain {
+        let plan = engine.plan(&p, variant, planner);
+        print!("{}", csce::engine::plan::explain::explain(&plan));
+        return Ok(());
+    }
+
+    match enumerate {
+        None if threads > 1 => {
+            let t0 = std::time::Instant::now();
+            let count = engine.count_parallel(&p, variant, threads);
+            println!("{count} embeddings ({variant}) in {:?} on {threads} threads", t0.elapsed());
+        }
+        None => {
+            let out = engine.run(&p, variant, planner, RunConfig { time_limit, ..Default::default() });
+            println!(
+                "{} embeddings ({variant}){}",
+                out.count,
+                if out.stats.timed_out { " — TIME LIMIT, partial" } else { "" }
+            );
+            println!(
+                "read {:?}  plan {:?}  exec {:?}  (SCE hits {}, candidate sets {})",
+                out.read_time,
+                out.plan_time,
+                out.exec_time,
+                out.stats.sce_cache_hits,
+                out.stats.candidate_computations
+            );
+        }
+        Some(limit) => {
+            let mut printed = 0u64;
+            engine.enumerate(&p, variant, &mut |f| {
+                println!("{f:?}");
+                printed += 1;
+                printed < limit
+            });
+            println!("-- {printed} embeddings printed");
+        }
+    }
+    Ok(())
+}

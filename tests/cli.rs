@@ -1,0 +1,179 @@
+//! End-to-end tests of the `csce` command-line binary: cluster → persist
+//! → stats → match → enumerate → explain, plus error handling.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_csce"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csce_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, contents: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const DATA: &str = "t 5 6\nv 0 0\nv 1 1\nv 2 0\nv 3 1\nv 4 0\n\
+e 0 1 - d\ne 2 1 - d\ne 2 3 - d\ne 4 3 - d\ne 0 3 - d\ne 4 1 - d\n";
+const PATTERN: &str = "t 2 1\nv 0 0\nv 1 1\ne 0 1 - d\n";
+
+#[test]
+fn cluster_stats_match_pipeline() {
+    let dir = workdir();
+    let data = write(&dir, "data.csce", DATA);
+    let pattern = write(&dir, "pattern.csce", PATTERN);
+    let ccsr = dir.join("data.ccsr");
+
+    let out = bin()
+        .args(["cluster", data.to_str().unwrap(), "-o", ccsr.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "cluster failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(ccsr.exists());
+
+    let out = bin().args(["stats", ccsr.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("over 5 vertices"), "stats output: {text}");
+    assert!(text.contains("clusters over"), "stats output: {text}");
+
+    // Matching against the persisted file and the raw text must agree.
+    for source in [&ccsr, &data] {
+        let out = bin()
+            .args(["match", source.to_str().unwrap(), pattern.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("6 embeddings"), "match output: {text}");
+    }
+}
+
+#[test]
+fn enumerate_and_explain() {
+    let dir = workdir();
+    let data = write(&dir, "data2.csce", DATA);
+    let pattern = write(&dir, "pattern2.csce", PATTERN);
+
+    let out = bin()
+        .args([
+            "match",
+            data.to_str().unwrap(),
+            pattern.to_str().unwrap(),
+            "--enumerate",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 embeddings printed"), "{text}");
+
+    let out = bin()
+        .args([
+            "match",
+            data.to_str().unwrap(),
+            pattern.to_str().unwrap(),
+            "--explain",
+            "--variant",
+            "h",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("matching order"), "{text}");
+    assert!(text.contains("homomorphic"), "{text}");
+}
+
+#[test]
+fn variant_flag_changes_results() {
+    let dir = workdir();
+    let data = write(&dir, "data3.csce", DATA);
+    // A 2-path pattern whose homomorphic count exceeds edge-induced.
+    let pattern = write(
+        &dir,
+        "wedge.csce",
+        "t 3 2\nv 0 0\nv 1 1\nv 2 0\ne 0 1 - d\ne 2 1 - d\n",
+    );
+    let count_for = |variant: &str| -> u64 {
+        let out = bin()
+            .args([
+                "match",
+                data.to_str().unwrap(),
+                pattern.to_str().unwrap(),
+                "--variant",
+                variant,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        text.split_whitespace().next().unwrap().parse().unwrap()
+    };
+    let e = count_for("e");
+    let h = count_for("h");
+    let v = count_for("v");
+    assert!(v <= e && e <= h, "v={v} e={e} h={h}");
+    assert!(h > e, "homomorphism folds the two sources onto one vertex");
+}
+
+#[test]
+fn errors_are_reported() {
+    let dir = workdir();
+    let out = bin().args(["match", "/nonexistent", "/nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    let data = write(&dir, "data4.csce", DATA);
+    let bad_pattern = write(&dir, "disconnected.csce", "t 2 0\nv 0 0\nv 1 1\n");
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), bad_pattern.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("connected"));
+}
+
+#[test]
+fn dot_rendering() {
+    let out = bin().args(["dot", "--query", "(a:1)-[5]->(b:2)"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("digraph"));
+    assert!(text.contains("v0 -> v1 [label=\"5\"]"));
+}
+
+#[test]
+fn query_flag_matches_inline_patterns() {
+    let dir = workdir();
+    let data = write(&dir, "data5.csce", DATA);
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("6 embeddings"));
+    // Parallel counting path.
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("6 embeddings"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

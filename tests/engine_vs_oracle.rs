@@ -1,0 +1,163 @@
+//! Randomized cross-validation of the CSCE engine against the
+//! brute-force oracle: every variant, every graph flavor (labels, edge
+//! labels, directions), exact embedding sets — not just counts.
+
+use csce::engine::{Engine, PlannerConfig, RunConfig};
+use csce::graph::generate::erdos_renyi;
+use csce::graph::oracle::oracle_embeddings;
+use csce::graph::sample::PatternSampler;
+use csce::graph::Density;
+use csce::Variant;
+
+/// Exhaustive agreement on a family of small random graphs.
+fn check_family(vertex_labels: u32, edge_labels: u32, directed: bool, seed: u64) {
+    let g = erdos_renyi(14, 28, vertex_labels, edge_labels, directed, seed);
+    let engine = Engine::build(&g);
+    let mut sampler = PatternSampler::new(&g, seed ^ 0xABCD);
+    for density in [Density::Sparse, Density::Dense] {
+        let Some(sp) = sampler.sample(4, density) else { continue };
+        let p = sp.pattern;
+        for variant in Variant::ALL {
+            let expected = oracle_embeddings(&g, &p, variant);
+            let got = engine.embeddings(&p, variant);
+            assert_eq!(
+                got, expected,
+                "family(vl={vertex_labels}, el={edge_labels}, dir={directed}, seed={seed}) {variant}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unlabeled_undirected() {
+    for seed in 0..8 {
+        check_family(0, 0, false, seed);
+    }
+}
+
+#[test]
+fn vertex_labeled_undirected() {
+    for seed in 0..8 {
+        check_family(3, 0, false, 100 + seed);
+    }
+}
+
+#[test]
+fn vertex_and_edge_labeled_undirected() {
+    for seed in 0..8 {
+        check_family(3, 2, false, 200 + seed);
+    }
+}
+
+#[test]
+fn unlabeled_directed() {
+    for seed in 0..8 {
+        check_family(0, 0, true, 300 + seed);
+    }
+}
+
+#[test]
+fn fully_heterogeneous_directed() {
+    for seed in 0..8 {
+        check_family(4, 3, true, 400 + seed);
+    }
+}
+
+#[test]
+fn larger_patterns_counts_only() {
+    // 6-vertex patterns on slightly bigger graphs: counts vs oracle.
+    for seed in 0..4 {
+        let g = erdos_renyi(18, 40, 2, 0, false, 500 + seed);
+        let engine = Engine::build(&g);
+        let mut sampler = PatternSampler::new(&g, seed);
+        if let Some(sp) = sampler.sample(6, Density::Sparse) {
+            for variant in Variant::ALL {
+                let expected = csce::graph::oracle_count(&g, &sp.pattern, variant);
+                assert_eq!(engine.count(&sp.pattern, variant), expected, "seed={seed} {variant}");
+            }
+        }
+    }
+}
+
+#[test]
+fn antiparallel_arcs_and_induced_semantics() {
+    // Regression: a vertex-induced pattern with a single directed edge
+    // must reject data pairs that also carry the antiparallel arc.
+    use csce::graph::GraphBuilder;
+    use csce::NO_LABEL;
+    let mut gb = GraphBuilder::new();
+    gb.add_unlabeled_vertices(4);
+    gb.add_edge(0, 1, NO_LABEL).unwrap();
+    gb.add_edge(1, 0, NO_LABEL).unwrap(); // antiparallel pair
+    gb.add_edge(2, 3, NO_LABEL).unwrap(); // plain arc
+    let g = gb.build();
+    let mut pb = GraphBuilder::new();
+    pb.add_unlabeled_vertices(2);
+    pb.add_edge(0, 1, NO_LABEL).unwrap();
+    let p = pb.build();
+    let engine = Engine::build(&g);
+    // Edge-induced: all three arcs match; vertex-induced: only 2->3.
+    assert_eq!(engine.count(&p, Variant::EdgeInduced), 3);
+    assert_eq!(engine.count(&p, Variant::VertexInduced), 1);
+    assert_eq!(
+        engine.embeddings(&p, Variant::VertexInduced),
+        vec![vec![2, 3]]
+    );
+    // A pattern WITH the antiparallel pair only matches the 0<->1 pair.
+    let mut pb = GraphBuilder::new();
+    pb.add_unlabeled_vertices(2);
+    pb.add_edge(0, 1, NO_LABEL).unwrap();
+    pb.add_edge(1, 0, NO_LABEL).unwrap();
+    let p2 = pb.build();
+    assert_eq!(engine.count(&p2, Variant::VertexInduced), 2, "both orientations");
+    assert_eq!(engine.count(&p2, Variant::EdgeInduced), 2);
+    // Cross-check everything against the oracle.
+    for p in [&p, &p2] {
+        for variant in Variant::ALL {
+            assert_eq!(
+                engine.count(p, variant),
+                csce::graph::oracle_count(&g, p, variant),
+                "{variant}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_planner_preset_is_exact() {
+    let g = erdos_renyi(14, 30, 3, 0, false, 42);
+    let engine = Engine::build(&g);
+    let mut sampler = PatternSampler::new(&g, 17);
+    let sp = sampler.sample(5, Density::Sparse).expect("sample");
+    for variant in Variant::ALL {
+        let expected = csce::graph::oracle_count(&g, &sp.pattern, variant);
+        for (name, config) in [
+            ("csce", PlannerConfig::csce()),
+            ("ri_only", PlannerConfig::ri_only()),
+            ("ri_cluster", PlannerConfig::ri_cluster()),
+        ] {
+            let out = engine.run(&sp.pattern, variant, config, RunConfig::default());
+            assert_eq!(out.count, expected, "{name} {variant}");
+        }
+    }
+}
+
+#[test]
+fn every_runtime_toggle_is_exact() {
+    let g = erdos_renyi(14, 30, 2, 0, false, 77);
+    let engine = Engine::build(&g);
+    let mut sampler = PatternSampler::new(&g, 3);
+    let sp = sampler.sample(5, Density::Sparse).expect("sample");
+    for variant in Variant::ALL {
+        let expected = csce::graph::oracle_count(&g, &sp.pattern, variant);
+        for (cache, factorize) in [(true, true), (true, false), (false, true), (false, false)] {
+            let run = RunConfig {
+                use_sce_cache: cache,
+                factorize,
+                ..RunConfig::default()
+            };
+            let out = engine.run(&sp.pattern, variant, PlannerConfig::csce(), run);
+            assert_eq!(out.count, expected, "cache={cache} factorize={factorize} {variant}");
+        }
+    }
+}
