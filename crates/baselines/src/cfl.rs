@@ -111,7 +111,11 @@ impl Baseline for CflCandidateSpace {
             deadline: Deadline::new(time_limit),
         };
         state.descend(0);
-        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+        BaselineResult {
+            count: state.count,
+            timed_out: state.deadline.fired,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -165,8 +169,7 @@ impl<'a> State<'a> {
             }
             for k in 0..depth {
                 let w = self.order[k];
-                let relevant =
-                    self.variant == Variant::VertexInduced || self.p.connected(w, u);
+                let relevant = self.variant == Variant::VertexInduced || self.p.connected(w, u);
                 if relevant
                     && !pair_consistent(self.g, self.p, self.variant, u, v, w, self.f[w as usize])
                 {

@@ -110,9 +110,7 @@ pub fn ri_order(p: &Graph) -> Vec<VertexId> {
             }
             let better = match &best {
                 None => true,
-                Some((bx, bt)) => {
-                    t.cmp(bt).then_with(|| bx.cmp(&x)) == std::cmp::Ordering::Greater
-                }
+                Some((bx, bt)) => t.cmp(bt).then_with(|| bx.cmp(&x)) == std::cmp::Ordering::Greater,
             };
             if better {
                 best = Some((x, t));

@@ -60,7 +60,11 @@ impl Baseline for FailingSetBacktracking {
             deadline: Deadline::new(time_limit),
         };
         state.descend(0);
-        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+        BaselineResult {
+            count: state.count,
+            timed_out: state.deadline.fired,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -141,7 +145,15 @@ impl<'a> State<'a> {
                 continue;
             }
             for &w in &self.earlier[depth] {
-                if !pair_consistent(self.g, self.p, Variant::EdgeInduced, u, v, w, self.f[w as usize]) {
+                if !pair_consistent(
+                    self.g,
+                    self.p,
+                    Variant::EdgeInduced,
+                    u,
+                    v,
+                    w,
+                    self.f[w as usize],
+                ) {
                     acc |= bit(u) | bit(w);
                     continue 'cands;
                 }

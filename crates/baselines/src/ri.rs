@@ -47,7 +47,11 @@ impl Baseline for RiBacktracking {
             deadline: Deadline::new(time_limit),
         };
         state.descend(0);
-        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+        BaselineResult {
+            count: state.count,
+            timed_out: state.deadline.fired,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -95,8 +99,7 @@ impl<'a> State<'a> {
             // additionally checks earlier non-neighbors for absence.
             for k in 0..depth {
                 let w = self.order[k];
-                let relevant = self.variant == Variant::VertexInduced
-                    || self.p.connected(w, u);
+                let relevant = self.variant == Variant::VertexInduced || self.p.connected(w, u);
                 if relevant
                     && !pair_consistent(self.g, self.p, self.variant, u, v, w, self.f[w as usize])
                 {

@@ -131,7 +131,15 @@ impl<'a> State<'a> {
                 continue;
             }
             for &w in &self.earlier[depth] {
-                if !pair_consistent(self.g, self.p, Variant::EdgeInduced, u, v, w, self.f[w as usize]) {
+                if !pair_consistent(
+                    self.g,
+                    self.p,
+                    Variant::EdgeInduced,
+                    u,
+                    v,
+                    w,
+                    self.f[w as usize],
+                ) {
                     continue 'cands;
                 }
             }

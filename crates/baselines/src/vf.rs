@@ -55,7 +55,11 @@ impl Baseline for VfMatcher {
             deadline: Deadline::new(time_limit),
         };
         state.descend(0);
-        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+        BaselineResult {
+            count: state.count,
+            timed_out: state.deadline.fired,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -114,10 +118,8 @@ impl<'a> State<'a> {
         let u = self.order[depth];
         // Candidates: neighbors of a matched neighbor's image, or all
         // label-compatible vertices for the root.
-        let matched_nbr = self.p_neighbors[u as usize]
-            .iter()
-            .copied()
-            .find(|&w| self.matched[w as usize]);
+        let matched_nbr =
+            self.p_neighbors[u as usize].iter().copied().find(|&w| self.matched[w as usize]);
         let candidates: Vec<VertexId> = match matched_nbr {
             Some(w) => self.g_neighbors[self.f[w as usize] as usize].clone(),
             None => (0..self.g.n() as VertexId).collect(),
@@ -128,10 +130,8 @@ impl<'a> State<'a> {
             }
             // Look-ahead: v must keep enough unused neighbors for u's
             // unmatched neighbors.
-            let needed = self.p_neighbors[u as usize]
-                .iter()
-                .filter(|&&w| !self.matched[w as usize])
-                .count();
+            let needed =
+                self.p_neighbors[u as usize].iter().filter(|&&w| !self.matched[w as usize]).count();
             if needed > 0 {
                 let available = self.g_neighbors[v as usize]
                     .iter()
@@ -145,8 +145,7 @@ impl<'a> State<'a> {
             // (induced) or matched neighbors (edge-induced).
             for k in 0..depth {
                 let w = self.order[k];
-                let relevant = self.variant == Variant::VertexInduced
-                    || self.p.connected(w, u);
+                let relevant = self.variant == Variant::VertexInduced || self.p.connected(w, u);
                 if relevant
                     && !pair_consistent(self.g, self.p, self.variant, u, v, w, self.f[w as usize])
                 {

@@ -55,7 +55,11 @@ impl Baseline for GraphflowWcoj {
             deadline: Deadline::new(time_limit),
         };
         state.descend(0);
-        BaselineResult { count: state.count, timed_out: state.deadline.fired, elapsed: start.elapsed() }
+        BaselineResult {
+            count: state.count,
+            timed_out: state.deadline.fired,
+            elapsed: start.elapsed(),
+        }
     }
 }
 

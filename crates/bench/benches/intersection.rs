@@ -17,9 +17,8 @@ fn bench_intersect(c: &mut Criterion) {
     let b = make_sorted(1_000, 11, 3);
     group.bench_function("balanced_1k_x_1k", |bench| {
         let mut out = Vec::new();
-        bench.iter(|| {
-            intersect_sorted(std::hint::black_box(&a), std::hint::black_box(&b), &mut out)
-        })
+        bench
+            .iter(|| intersect_sorted(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
     });
     let small = make_sorted(32, 997, 5);
     let large = make_sorted(100_000, 1, 0);

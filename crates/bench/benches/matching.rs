@@ -13,23 +13,19 @@ fn bench_matching(c: &mut Criterion) {
     let g = chung_lu(3_000, 13_000, 2.5, 30, 0, false, 9);
     let engine = Engine::build(&g);
     let mut sampler = PatternSampler::new(&g, 21);
-    for (size, density) in [(8usize, Density::Sparse), (8, Density::Dense), (16, Density::Sparse)]
-    {
+    for (size, density) in [(8usize, Density::Sparse), (8, Density::Dense), (16, Density::Sparse)] {
         let Some(sp) = sampler.sample(size, density) else { continue };
         for variant in Variant::ALL {
-            group.bench_function(
-                format!("{}{}_{}", density.letter(), size, variant.tag()),
-                |b| {
-                    b.iter(|| {
-                        engine.run(
-                            std::hint::black_box(&sp.pattern),
-                            variant,
-                            PlannerConfig::csce(),
-                            RunConfig::default(),
-                        )
-                    })
-                },
-            );
+            group.bench_function(format!("{}{}_{}", density.letter(), size, variant.tag()), |b| {
+                b.iter(|| {
+                    engine.run(
+                        std::hint::black_box(&sp.pattern),
+                        variant,
+                        PlannerConfig::csce(),
+                        RunConfig::default(),
+                    )
+                })
+            });
         }
     }
     group.finish();

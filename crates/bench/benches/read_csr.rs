@@ -17,10 +17,9 @@ fn bench_read(c: &mut Criterion) {
         for size in [8usize, 32] {
             let Some(sp) = sampler.sample(size, Density::Sparse) else { continue };
             for variant in [Variant::EdgeInduced, Variant::VertexInduced] {
-                group.bench_function(
-                    format!("labels{labels}_size{size}_{}", variant.tag()),
-                    |b| b.iter(|| read_csr(std::hint::black_box(&gc), &sp.pattern, variant)),
-                );
+                group.bench_function(format!("labels{labels}_size{size}_{}", variant.tag()), |b| {
+                    b.iter(|| read_csr(std::hint::black_box(&gc), &sp.pattern, variant))
+                });
             }
         }
     }

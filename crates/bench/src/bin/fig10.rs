@@ -9,7 +9,7 @@
 static ALLOC: csce_bench::TrackingAllocator = csce_bench::TrackingAllocator;
 
 use csce_bench::alloc::format_bytes;
-use csce_bench::{Table, TrackingAllocator};
+use csce_bench::{BenchReport, Table, TrackingAllocator};
 use csce_core::{Engine, PlannerConfig};
 use csce_datasets::presets;
 use csce_graph::generate::randomize_vertex_labels;
@@ -28,6 +28,7 @@ fn main() {
     let mut sampler = PatternSampler::new(&g, 0xF10);
     let sizes = [8usize, 16, 32, 64, 128, 200, 500, 1000, 2000];
 
+    let mut report = BenchReport::new("fig10");
     let mut t = Table::new(&["size", "E time", "V time", "H time", "peak mem"]);
     for size in sizes {
         let Some(sp) = sampler.sample(size, Density::Sparse) else {
@@ -40,6 +41,12 @@ fn main() {
             let plan = engine.plan(&sp.pattern, variant, PlannerConfig::csce());
             let elapsed = t0.elapsed();
             assert_eq!(plan.order.len(), size);
+            report.record_custom(
+                &format!("size{size}/{variant}"),
+                "plan-only",
+                elapsed.as_secs_f64(),
+                0,
+            );
             cells.push(format!("{:.3}s", elapsed.as_secs_f64()));
         }
         cells.insert(0, size.to_string());
@@ -47,6 +54,7 @@ fn main() {
         t.row(cells);
     }
     t.print();
+    report.finish();
     println!(
         "\nExpected shape (paper): all variants plan 2000-vertex patterns within\n\
          the budget; homomorphic plans fastest (no injectivity machinery)."

@@ -8,7 +8,7 @@
 static ALLOC: csce_bench::TrackingAllocator = csce_bench::TrackingAllocator;
 
 use csce_bench::alloc::format_bytes;
-use csce_bench::Table;
+use csce_bench::{BenchReport, Table};
 use csce_ccsr::{build_ccsr, read_csr};
 use csce_datasets::presets;
 use csce_graph::generate::randomize_vertex_labels;
@@ -20,6 +20,7 @@ fn main() {
     let base = presets::patent();
     let sizes = [3usize, 4, 8, 32, 128, 500, 2000];
     println!("Fig. 11 — CCSR read time and decoded bytes (Patent-like, edge-induced)\n");
+    let mut report = BenchReport::new("fig11");
     let mut t = Table::new(&["labels", "pattern", "read time", "clusters", "decoded bytes"]);
     for labels in [20u32, 200, 2000] {
         let g = randomize_vertex_labels(&base.graph, labels, 0xF11);
@@ -32,6 +33,12 @@ fn main() {
             let t0 = Instant::now();
             let star = read_csr(&gc, &sp.pattern, Variant::EdgeInduced);
             let elapsed = t0.elapsed();
+            report.record_custom(
+                &format!("labels{labels}/size{size}"),
+                "read-csr",
+                elapsed.as_secs_f64(),
+                star.heap_bytes() as u64,
+            );
             t.row(vec![
                 labels.to_string(),
                 size.to_string(),
@@ -42,6 +49,7 @@ fn main() {
         }
     }
     t.print();
+    report.finish();
     println!(
         "\nExpected shape (paper): more labels -> smaller clusters -> reads grow\n\
          with pattern size but stay well within budget."

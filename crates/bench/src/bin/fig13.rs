@@ -7,7 +7,7 @@
 
 use csce_baselines::fsp::FailingSetBacktracking;
 use csce_baselines::Baseline;
-use csce_bench::{BenchContext, Table};
+use csce_bench::{BenchContext, BenchReport, Table};
 use csce_core::{PlannerConfig, RunConfig};
 use csce_datasets::{presets, sample_suite};
 use csce_graph::{Density, Variant};
@@ -22,13 +22,15 @@ fn main() {
     let ds = presets::patent();
     println!("Fig. 13 — plan quality on {} ({}), edge-induced\n", ds.name, ds.stats());
     let ctx = BenchContext::new(ds.name, ds.graph);
-    let suites = sample_suite(&ctx.graph, &[8, 16, 32], &[Density::Dense, Density::Sparse], repeats, 0xF13);
+    let suites =
+        sample_suite(&ctx.graph, &[8, 16, 32], &[Density::Dense, Density::Sparse], repeats, 0xF13);
 
     let plans: [(&str, PlannerConfig); 3] = [
         ("RI", PlannerConfig::ri_only()),
         ("RI+Cluster", PlannerConfig::ri_cluster()),
         ("CSCE", PlannerConfig::csce()),
     ];
+    let mut report = BenchReport::new("fig13");
     let mut t = Table::new(&["pattern", "RM(FSP)", "RI", "RI+Cluster", "CSCE"]);
     for suite in &suites {
         if suite.patterns.is_empty() {
@@ -37,26 +39,31 @@ fn main() {
         let mut cells = vec![suite.name.clone()];
         // External reference: the RapidMatch-family backtracker.
         let mut rm = 0.0f64;
-        for p in &suite.patterns {
+        for (pi, p) in suite.patterns.iter().enumerate() {
             let r = FailingSetBacktracking.count(&ctx.graph, p, Variant::EdgeInduced, Some(limit));
-            rm += if r.timed_out { limit.as_secs_f64() } else { r.elapsed.as_secs_f64() };
+            let secs = if r.timed_out { limit.as_secs_f64() } else { r.elapsed.as_secs_f64() };
+            report.record_custom(&format!("{}/p{pi}", suite.name), "RM(FSP)", secs, r.count);
+            rm += secs;
         }
         cells.push(format!("{:.3}s", rm / suite.patterns.len() as f64));
-        for (_, config) in &plans {
+        for (plan_name, config) in &plans {
             let mut secs = 0.0f64;
-            for p in &suite.patterns {
+            for (pi, p) in suite.patterns.iter().enumerate() {
                 let run = RunConfig { time_limit: Some(limit), ..Default::default() };
                 let out = ctx.engine.run(p, Variant::EdgeInduced, *config, run);
-                secs += if out.stats.timed_out {
+                let s = if out.stats.timed_out {
                     limit.as_secs_f64()
                 } else {
                     out.total_time().as_secs_f64()
                 };
+                report.record_custom(&format!("{}/p{pi}", suite.name), plan_name, s, out.count);
+                secs += s;
             }
             cells.push(format!("{:.3}s", secs / suite.patterns.len() as f64));
         }
         t.row(cells);
     }
     t.print();
+    report.finish();
     println!("\nExpected shape (paper): CSCE <= RI+Cluster <= RI, and CSCE beats RM.");
 }

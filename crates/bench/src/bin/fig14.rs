@@ -6,7 +6,7 @@
 
 use csce_baselines::symmetry::SymmetryBreaking;
 use csce_baselines::Baseline;
-use csce_bench::{run_all, run_csce, BenchContext, Table};
+use csce_bench::{run_all, run_csce, BenchContext, BenchReport, Table};
 use csce_datasets::{presets, sample_suite};
 use csce_graph::{classify_density, Density, Variant};
 use std::time::{Duration, Instant};
@@ -21,6 +21,7 @@ fn main() {
     println!("Fig. 14 — DIP-like graph ({})\n", ds.stats());
     let ctx = BenchContext::new(ds.name, ds.graph);
 
+    let mut report = BenchReport::new("fig14");
     // (a) symmetry breaking on small-to-large patterns: restriction
     // generation time vs total time vs CSCE.
     println!("(a) symmetry breaking vs CSCE, edge-induced, sparse patterns");
@@ -32,14 +33,18 @@ fn main() {
             continue;
         }
         let (mut gen_s, mut sb_s, mut csce_s, mut aut_sum) = (0.0f64, 0.0f64, 0.0f64, 0u64);
-        for p in &suite.patterns {
+        for (pi, p) in suite.patterns.iter().enumerate() {
             let t0 = Instant::now();
             let (_, aut) = SymmetryBreaking::restrictions_of(p);
             gen_s += t0.elapsed().as_secs_f64();
             aut_sum += aut;
             let r = SymmetryBreaking.count(&ctx.graph, p, Variant::EdgeInduced, Some(limit));
-            sb_s += if r.timed_out { limit.as_secs_f64() } else { r.elapsed.as_secs_f64() };
-            csce_s += run_csce(&ctx, p, Variant::EdgeInduced, limit).seconds;
+            let sb = if r.timed_out { limit.as_secs_f64() } else { r.elapsed.as_secs_f64() };
+            report.record_custom(&format!("a/size{size}/p{pi}"), "SymmetryBreaking", sb, r.count);
+            sb_s += sb;
+            let c = run_csce(&ctx, p, Variant::EdgeInduced, limit);
+            report.record(&format!("a/size{size}/p{pi}"), &c);
+            csce_s += c.seconds;
         }
         let n = suite.patterns.len() as f64;
         t.row(vec![
@@ -83,8 +88,9 @@ fn main() {
     for density in [Density::Sparse, Density::Dense] {
         let suites = sample_suite(&ctx.graph, &[8], &[density], repeats, 0xF14B);
         for suite in &suites {
-            for p in &suite.patterns {
+            for (pi, p) in suite.patterns.iter().enumerate() {
                 let results = run_all(&ctx, p, Variant::EdgeInduced, limit);
+                report.record_all(&format!("b/{}/p{pi}", suite.name), &results);
                 let tput = |r: &csce_bench::AlgoResult| {
                     if r.seconds > 0.0 {
                         r.count as f64 / r.seconds
@@ -93,8 +99,7 @@ fn main() {
                     }
                 };
                 let csce_tput = tput(&results[0]);
-                let best_baseline =
-                    results[1..].iter().map(tput).fold(0.0f64, f64::max);
+                let best_baseline = results[1..].iter().map(tput).fold(0.0f64, f64::max);
                 t.row(vec![
                     format!("{}{}", classify_density(p).letter(), p.n()),
                     format!("{:.2}", p.average_degree()),
@@ -105,6 +110,7 @@ fn main() {
         }
     }
     t.print();
+    report.finish();
     println!(
         "\nExpected shape (paper): throughput drops on denser patterns but CSCE\n\
          stays above the baselines."

@@ -11,7 +11,7 @@
 static ALLOC: csce_bench::TrackingAllocator = csce_bench::TrackingAllocator;
 
 use csce_bench::alloc::format_bytes;
-use csce_bench::{run_all, BenchContext, Table, TrackingAllocator};
+use csce_bench::{run_all, BenchContext, BenchReport, Table, TrackingAllocator};
 use csce_datasets::{all_presets, sample_suite};
 use csce_graph::{Density, Variant};
 use std::time::Duration;
@@ -29,15 +29,39 @@ fn config_for(name: &str) -> Config {
         // The paper's sub-figure selections, scaled. DIP uses dense
         // patterns (the MIPS complexes are communities, not trees; sparse
         // trees on a hub-heavy PPI graph explode to billions).
-        "DIP" => Config { variants: &[EdgeInduced, VertexInduced], sizes: &[3, 4, 5, 8, 9], densities: &[Dense] },
-        "Yeast" => Config { variants: &[EdgeInduced, VertexInduced], sizes: &[8, 16, 32], densities: &[Dense, Sparse] },
-        "Human" => Config { variants: &[EdgeInduced], sizes: &[4, 8, 16], densities: &[Dense, Sparse] },
-        "HPRD" => Config { variants: &[EdgeInduced, VertexInduced], sizes: &[8, 16, 32, 50], densities: &[Dense, Sparse] },
-        "RoadCA" => Config { variants: &[EdgeInduced, VertexInduced], sizes: &[4, 8, 16, 32], densities: &[Sparse] },
+        "DIP" => Config {
+            variants: &[EdgeInduced, VertexInduced],
+            sizes: &[3, 4, 5, 8, 9],
+            densities: &[Dense],
+        },
+        "Yeast" => Config {
+            variants: &[EdgeInduced, VertexInduced],
+            sizes: &[8, 16, 32],
+            densities: &[Dense, Sparse],
+        },
+        "Human" => {
+            Config { variants: &[EdgeInduced], sizes: &[4, 8, 16], densities: &[Dense, Sparse] }
+        }
+        "HPRD" => Config {
+            variants: &[EdgeInduced, VertexInduced],
+            sizes: &[8, 16, 32, 50],
+            densities: &[Dense, Sparse],
+        },
+        "RoadCA" => Config {
+            variants: &[EdgeInduced, VertexInduced],
+            sizes: &[4, 8, 16, 32],
+            densities: &[Sparse],
+        },
         "Orkut" => Config { variants: &[EdgeInduced], sizes: &[4, 8], densities: &[Sparse] },
-        "Patent" => Config { variants: &[EdgeInduced], sizes: &[8, 16, 32], densities: &[Dense, Sparse] },
-        "Subcategory" => Config { variants: &[Homomorphic, VertexInduced], sizes: &[4, 8], densities: &[Sparse] },
-        "LiveJournal" => Config { variants: &[Homomorphic], sizes: &[4, 8, 10, 12], densities: &[Sparse] },
+        "Patent" => {
+            Config { variants: &[EdgeInduced], sizes: &[8, 16, 32], densities: &[Dense, Sparse] }
+        }
+        "Subcategory" => {
+            Config { variants: &[Homomorphic, VertexInduced], sizes: &[4, 8], densities: &[Sparse] }
+        }
+        "LiveJournal" => {
+            Config { variants: &[Homomorphic], sizes: &[4, 8, 10, 12], densities: &[Sparse] }
+        }
         other => panic!("unknown dataset {other}"),
     }
 }
@@ -56,6 +80,7 @@ fn main() {
         limit, repeats
     );
 
+    let mut report = BenchReport::new("fig6");
     for ds in all_presets() {
         if !args.is_empty() && !args.iter().any(|a| a.eq_ignore_ascii_case(ds.name)) {
             continue;
@@ -73,8 +98,9 @@ fn main() {
                 }
                 // Average per algorithm over the suite's patterns.
                 let mut totals: Vec<(&'static str, f64, bool)> = Vec::new();
-                for p in &suite.patterns {
+                for (pi, p) in suite.patterns.iter().enumerate() {
                     for r in run_all(&ctx, p, variant, limit) {
+                        report.record(&format!("{}/{variant}/{}/p{pi}", ctx.name, suite.name), &r);
                         match totals.iter_mut().find(|(n, _, _)| *n == r.name) {
                             Some((_, secs, to)) => {
                                 *secs += r.seconds;
@@ -115,9 +141,7 @@ fn main() {
             println!("\n[{} — {variant}]", ctx.name);
             t.print();
         }
-        println!(
-            "peak memory so far: {}\n",
-            format_bytes(TrackingAllocator::peak_bytes())
-        );
+        println!("peak memory so far: {}\n", format_bytes(TrackingAllocator::peak_bytes()));
     }
+    report.finish();
 }

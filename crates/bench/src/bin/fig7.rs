@@ -4,7 +4,7 @@
 //! edge-induced variant has higher throughput but can have far more
 //! embeddings.
 
-use csce_bench::{run_csce, BenchContext, Table};
+use csce_bench::{run_csce, BenchContext, BenchReport, Table};
 use csce_datasets::{presets, sample_suite};
 use csce_graph::{Density, Variant};
 use std::time::Duration;
@@ -20,6 +20,7 @@ fn main() {
     let ctx = BenchContext::new(ds.name, ds.graph);
     let sizes = [4usize, 8, 16, 32];
     let suites = sample_suite(&ctx.graph, &sizes, &[Density::Sparse], repeats, 0xF17);
+    let mut report = BenchReport::new("fig7");
 
     let mut t = Table::new(&[
         "size",
@@ -37,8 +38,9 @@ fn main() {
         let mut cells: Vec<(u64, f64)> = Vec::new(); // (count, secs) per variant
         for variant in [Variant::EdgeInduced, Variant::VertexInduced] {
             let (mut count, mut secs) = (0u64, 0f64);
-            for p in &suite.patterns {
+            for (pi, p) in suite.patterns.iter().enumerate() {
                 let r = run_csce(&ctx, p, variant, limit);
+                report.record(&format!("{}/{variant}/{}/p{pi}", ctx.name, suite.name), &r);
                 count += r.count;
                 secs += r.seconds;
             }
@@ -62,6 +64,7 @@ fn main() {
         ]);
     }
     t.print();
+    report.finish();
     println!(
         "\nExpected shape (paper): edge-induced counts dominate on larger patterns,\n\
          so the vertex-induced variant can be *faster* in total time while the\n\

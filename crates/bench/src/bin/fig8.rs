@@ -3,7 +3,7 @@
 //! Reproduces Finding 8: throughput decreases with pattern size and CSCE
 //! stays on top.
 
-use csce_bench::{run_all, BenchContext, Table};
+use csce_bench::{run_all, BenchContext, BenchReport, Table};
 use csce_datasets::{presets, sample_suite};
 use csce_graph::{Density, Variant};
 use std::time::Duration;
@@ -19,6 +19,7 @@ fn main() {
     let ctx = BenchContext::new(ds.name, ds.graph);
     let suites = sample_suite(&ctx.graph, &[8, 16, 24, 32], &[Density::Sparse], repeats, 0xF18);
 
+    let mut report = BenchReport::new("fig8");
     let mut algo_names: Vec<&'static str> = Vec::new();
     let mut rows = Vec::new();
     for suite in &suites {
@@ -26,8 +27,9 @@ fn main() {
             continue;
         }
         let mut acc: Vec<(&'static str, u64, f64)> = Vec::new();
-        for p in &suite.patterns {
+        for (pi, p) in suite.patterns.iter().enumerate() {
             for r in run_all(&ctx, p, Variant::EdgeInduced, limit) {
+                report.record(&format!("{}/{}/p{pi}", ctx.name, suite.name), &r);
                 match acc.iter_mut().find(|(n, _, _)| *n == r.name) {
                     Some((_, c, s)) => {
                         *c += r.count;
@@ -58,5 +60,6 @@ fn main() {
         t.row(row);
     }
     t.print();
+    report.finish();
     println!("\nExpected shape (paper): throughput falls as size grows; CSCE highest.");
 }

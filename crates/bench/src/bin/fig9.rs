@@ -7,7 +7,7 @@
 //! the budget) and RoadCA (whose sparse-pattern runs complete, showing
 //! the time-vs-embeddings growth directly).
 
-use csce_bench::{run_all, BenchContext, Table};
+use csce_bench::{run_all, BenchContext, BenchReport, Table};
 use csce_datasets::{presets, sample_suite, Dataset};
 use csce_graph::{Density, Variant};
 use std::time::Duration;
@@ -21,23 +21,25 @@ fn main() {
     );
     let repeats: usize =
         std::env::var("CSCE_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
-    for (ds, density) in
-        [(presets::dip(), Density::Dense), (presets::roadca(), Density::Sparse)]
-    {
-        println!(
-            "Fig. 9 — total time vs number of embeddings on {} ({})\n",
-            ds.name,
-            ds.stats()
-        );
-        run_panel(ds, density, limit, repeats);
+    let mut report = BenchReport::new("fig9");
+    for (ds, density) in [(presets::dip(), Density::Dense), (presets::roadca(), Density::Sparse)] {
+        println!("Fig. 9 — total time vs number of embeddings on {} ({})\n", ds.name, ds.stats());
+        run_panel(ds, density, limit, repeats, &mut report);
     }
+    report.finish();
     println!(
         "`*` = clamped at the time limit; the cell then shows the partial count\n\
          reached within the budget (higher = faster engine)."
     );
 }
 
-fn run_panel(ds: Dataset, density: Density, limit: Duration, repeats: usize) {
+fn run_panel(
+    ds: Dataset,
+    density: Density,
+    limit: Duration,
+    repeats: usize,
+    report: &mut BenchReport,
+) {
     let ctx = BenchContext::new(ds.name, ds.graph);
     // DIP uses dense patterns (MIPS-complex-like; sparse trees on a
     // hub-heavy PPI graph explode); the RoadCA panel uses sparse patterns
@@ -52,8 +54,9 @@ fn run_panel(ds: Dataset, density: Density, limit: Duration, repeats: usize) {
         // (ascending), as the paper arranges its x-axis.
         let mut results: Vec<(u64, Vec<Cell>)> = Vec::new();
         let mut algo_names: Vec<&'static str> = Vec::new();
-        for p in &suite.patterns {
+        for (pi, p) in suite.patterns.iter().enumerate() {
             let rs = run_all(&ctx, p, Variant::EdgeInduced, limit);
+            report.record_all(&format!("{}/size{size}/p{pi}", ctx.name), &rs);
             if algo_names.is_empty() {
                 algo_names = rs.iter().map(|r| r.name).collect();
             }

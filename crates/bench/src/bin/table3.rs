@@ -37,13 +37,7 @@ fn main() {
             "U and D".into(),
         ]);
     }
-    t.row(vec![
-        "CSCE".into(),
-        "E,V,H".into(),
-        "Yes".into(),
-        "Yes".into(),
-        "U and D".into(),
-    ]);
+    t.row(vec!["CSCE".into(), "E,V,H".into(), "Yes".into(), "Yes".into(), "U and D".into()]);
     println!("Table III — algorithms compared\n");
     t.print();
     println!(

@@ -6,13 +6,17 @@
 //! micro-benchmarks of the hot paths and the design-choice ablations.
 //!
 //! This library provides the shared machinery: a peak-tracking global
-//! allocator (the paper reports peak RAM), aligned table printing, and a
-//! uniform sweep runner over CSCE plus every applicable baseline.
+//! allocator (the paper reports peak RAM), aligned table printing, a
+//! uniform sweep runner over CSCE plus every applicable baseline, and the
+//! [`BenchReport`] collector that mirrors every run into a
+//! machine-readable `BENCH_<name>.json` file.
 
 pub mod alloc;
+pub mod report;
 pub mod runner;
 pub mod table;
 
 pub use alloc::TrackingAllocator;
+pub use report::BenchReport;
 pub use runner::{geometric_mean, run_all, run_csce, AlgoResult, BenchContext, TIME_LIMIT};
 pub use table::Table;

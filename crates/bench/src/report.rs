@@ -1,0 +1,225 @@
+//! Machine-readable bench output: `BENCH_<name>.json` run reports.
+//!
+//! Every harness binary collects its raw per-run results into a
+//! [`BenchReport`] alongside the human-readable tables it prints, then
+//! writes them to `<dir>/BENCH_<name>.json` (directory from the
+//! `CSCE_BENCH_DIR` env var, default `results/`). Schema:
+//!
+//! ```json
+//! {
+//!   "bench": "fig6",
+//!   "runs": [
+//!     {"task": "HPRD/8-sparse/p0", "algo": "CSCE", "seconds": 0.8,
+//!      "count": 1234, "timed_out": false,
+//!      "counters": {"exec.nodes": 42, ...},
+//!      "gauges": {"exec.sce_hit_rate": 0.5, ...},
+//!      "series": {"exec.depth_candidates": [3, 9], ...}}
+//!   ]
+//! }
+//! ```
+//!
+//! `counters`/`gauges`/`series` carry the full [`ExecStats`] dump and are
+//! present only for runs that produce one (CSCE; baselines report the
+//! scalar fields only).
+
+use crate::runner::AlgoResult;
+use csce_core::ExecStats;
+use csce_obs::{JsonValue, MetricsRegistry};
+use std::path::PathBuf;
+
+struct RunRow {
+    task: String,
+    algo: String,
+    seconds: f64,
+    count: u64,
+    timed_out: bool,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// Accumulates one binary's raw results for JSON export.
+pub struct BenchReport {
+    name: String,
+    runs: Vec<RunRow>,
+}
+
+impl BenchReport {
+    /// Start a report for the exhibit `name` (e.g. `"fig6"`); the file
+    /// will be `BENCH_<name>.json`.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport { name: name.to_string(), runs: Vec::new() }
+    }
+
+    /// Record one algorithm's outcome on `task`.
+    pub fn record(&mut self, task: &str, r: &AlgoResult) {
+        self.push(task, r.name, r.seconds, r.count, r.timed_out, r.stats.as_ref());
+    }
+
+    /// Record a whole `run_all` sweep on `task`.
+    pub fn record_all(&mut self, task: &str, results: &[AlgoResult]) {
+        for r in results {
+            self.record(task, r);
+        }
+    }
+
+    /// Record a measurement that is not an [`AlgoResult`] (plan-only
+    /// timings, build times, memory sweeps, ...).
+    pub fn record_custom(&mut self, task: &str, algo: &str, seconds: f64, count: u64) {
+        self.push(task, algo, seconds, count, false, None);
+    }
+
+    /// Record a fraction/ratio exhibit (SCE occurrence, hit rates) as a
+    /// row whose payload lives in the `gauges` object.
+    pub fn record_gauge(&mut self, task: &str, algo: &str, key: &str, value: f64) {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge(key, value);
+        self.runs.push(RunRow {
+            task: task.to_string(),
+            algo: algo.to_string(),
+            seconds: 0.0,
+            count: 0,
+            timed_out: false,
+            metrics: Some(m),
+        });
+    }
+
+    fn push(
+        &mut self,
+        task: &str,
+        algo: &str,
+        seconds: f64,
+        count: u64,
+        timed_out: bool,
+        stats: Option<&ExecStats>,
+    ) {
+        let metrics = stats.map(|s| {
+            let mut m = MetricsRegistry::new();
+            s.export(&mut m);
+            m
+        });
+        self.runs.push(RunRow {
+            task: task.to_string(),
+            algo: algo.to_string(),
+            seconds,
+            count,
+            timed_out,
+            metrics,
+        });
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The report as a JSON document tree.
+    pub fn to_json(&self) -> JsonValue {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("task".to_string(), JsonValue::Str(r.task.clone())),
+                    ("algo".to_string(), JsonValue::Str(r.algo.clone())),
+                    ("seconds".to_string(), JsonValue::Float(r.seconds)),
+                    ("count".to_string(), JsonValue::UInt(r.count)),
+                    ("timed_out".to_string(), JsonValue::Bool(r.timed_out)),
+                ];
+                if let Some(m) = &r.metrics {
+                    fields.push((
+                        "counters".to_string(),
+                        JsonValue::Object(
+                            m.counters()
+                                .map(|(k, v)| (k.to_string(), JsonValue::UInt(v)))
+                                .collect(),
+                        ),
+                    ));
+                    fields.push((
+                        "gauges".to_string(),
+                        JsonValue::Object(
+                            m.gauges().map(|(k, v)| (k.to_string(), JsonValue::Float(v))).collect(),
+                        ),
+                    ));
+                    fields.push((
+                        "series".to_string(),
+                        JsonValue::Object(
+                            m.all_series()
+                                .map(|(k, vs)| {
+                                    (
+                                        k.to_string(),
+                                        JsonValue::Array(
+                                            vs.iter().map(|&v| JsonValue::UInt(v)).collect(),
+                                        ),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                JsonValue::Object(fields)
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("bench".to_string(), JsonValue::Str(self.name.clone())),
+            ("runs".to_string(), JsonValue::Array(runs)),
+        ])
+    }
+
+    /// Write `BENCH_<name>.json` under `CSCE_BENCH_DIR` (default
+    /// `results/`), creating the directory. Returns the path written.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("CSCE_BENCH_DIR").unwrap_or_else(|_| "results".to_string());
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+
+    /// Write the report, logging the outcome to stderr instead of failing
+    /// the binary — the tables on stdout are the primary artifact.
+    pub fn finish(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("[bench] wrote {} runs to {}", self.len(), path.display()),
+            Err(e) => eprintln!("[bench] could not write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("unit");
+        let stats = ExecStats { embeddings: 7, nodes: 9, ..Default::default() };
+        report.record(
+            "tiny/wedge",
+            &AlgoResult {
+                name: "CSCE",
+                seconds: 0.25,
+                count: 7,
+                timed_out: false,
+                stats: Some(stats),
+            },
+        );
+        report.record_custom("tiny/wedge", "plan-only", 0.001, 0);
+        let text = report.to_json().to_pretty();
+        let parsed = csce_obs::json::parse(&text).expect("valid json");
+        assert_eq!(parsed.get("bench").and_then(JsonValue::as_str), Some("unit"));
+        let runs = parsed.get("runs").and_then(JsonValue::as_array).expect("runs");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0]
+                .get("counters")
+                .and_then(|c| c.get("exec.embeddings"))
+                .and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert!(runs[1].get("counters").is_none(), "custom rows carry no counter dump");
+    }
+}

@@ -3,7 +3,7 @@
 //! at the limit, §VII "Metric").
 
 use csce_baselines::all_baselines;
-use csce_core::{Engine, PlannerConfig, RunConfig};
+use csce_core::{Engine, ExecStats, PlannerConfig, RunConfig};
 use csce_graph::{Graph, Variant};
 use std::time::Duration;
 
@@ -18,6 +18,9 @@ pub struct AlgoResult {
     pub seconds: f64,
     pub count: u64,
     pub timed_out: bool,
+    /// Full execution counters — present for CSCE runs (baselines report
+    /// only the count). Dumped into `BENCH_*.json` run reports.
+    pub stats: Option<ExecStats>,
 }
 
 /// A data graph together with its prebuilt CCSR engine (the offline stage
@@ -55,6 +58,7 @@ pub fn run_all(
             seconds: if r.timed_out { time_limit.as_secs_f64() } else { r.elapsed.as_secs_f64() },
             count: r.count,
             timed_out: r.timed_out,
+            stats: None,
         });
     }
     out
@@ -78,6 +82,7 @@ pub fn run_csce(
         },
         count: out.count,
         timed_out: out.stats.timed_out,
+        stats: Some(out.stats),
     }
 }
 

@@ -11,10 +11,9 @@ use crate::compress::CompressedCsr;
 use crate::csr::Csr;
 use crate::key::ClusterKey;
 use csce_graph::{FxHashMap, Graph, Label, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// The set of all clustered CSRs of a data graph — the paper's `G_C`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Ccsr {
     n: u32,
     vertex_labels: Vec<Label>,
@@ -47,9 +46,8 @@ pub fn build_ccsr(g: &Graph) -> Ccsr {
     let mut clusters: FxHashMap<ClusterKey, Cluster> = FxHashMap::default();
     for (key, pairs) in out_pairs {
         let out = CompressedCsr::compress(&Csr::from_pairs(n, pairs));
-        let inc = in_pairs
-            .remove(&key)
-            .map(|pairs| CompressedCsr::compress(&Csr::from_pairs(n, pairs)));
+        let inc =
+            in_pairs.remove(&key).map(|pairs| CompressedCsr::compress(&Csr::from_pairs(n, pairs)));
         clusters.insert(key, Cluster { key, out, inc });
     }
     let mut pair_index: FxHashMap<(Label, Label), Vec<ClusterKey>> = FxHashMap::default();
@@ -112,24 +110,25 @@ impl Ccsr {
     /// All cluster keys between an unordered vertex-label pair — the
     /// `(u_x, u_y)*`-clusters.
     pub fn negation_keys(&self, a: Label, b: Label) -> &[ClusterKey] {
-        self.pair_index
-            .get(&(a.min(b), a.max(b)))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.pair_index.get(&(a.min(b), a.max(b))).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Total `I_C` length over all clusters; equals `2|E|` by construction.
     pub fn total_ic_len(&self) -> usize {
-        self.clusters.values().map(|c| {
-            c.out.arc_count() + c.inc.as_ref().map_or(0, |i| i.arc_count())
-        }).sum()
+        self.clusters
+            .values()
+            .map(|c| c.out.arc_count() + c.inc.as_ref().map_or(0, |i| i.arc_count()))
+            .sum()
     }
 
     /// Total compressed `I_R` length over all clusters; bounded by `4|E|`.
     pub fn total_ir_len(&self) -> usize {
-        self.clusters.values().map(|c| {
-            c.out.compressed_ir_len() + c.inc.as_ref().map_or(0, |i| i.compressed_ir_len())
-        }).sum()
+        self.clusters
+            .values()
+            .map(|c| {
+                c.out.compressed_ir_len() + c.inc.as_ref().map_or(0, |i| i.compressed_ir_len())
+            })
+            .sum()
     }
 
     /// Approximate heap footprint in bytes.

@@ -5,7 +5,6 @@ use crate::compress::CompressedCsr;
 use crate::csr::Csr;
 use crate::key::ClusterKey;
 use csce_graph::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// One edge-isomorphism cluster in compressed (offline) form.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// neighbors can be found; undirected clusters store one CSR containing
 /// each edge from both endpoints (§IV). Either way each edge of `G`
 /// appears exactly twice in exactly one cluster.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Cluster {
     pub key: ClusterKey,
     /// Outgoing CSR (for undirected clusters: the single CSR).

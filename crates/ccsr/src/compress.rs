@@ -9,10 +9,9 @@
 //! standard CSRs when read (Algorithm 1).
 
 use crate::csr::Csr;
-use serde::{Deserialize, Serialize};
 
 /// A CSR whose row index is run-length encoded.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CompressedCsr {
     /// `(offset value, repeat count)` runs of the `I_R` array.
     runs: Vec<(u32, u32)>,
@@ -133,7 +132,10 @@ mod tests {
         assert!(CompressedCsr::from_parts(vec![], vec![]).is_none());
         assert!(CompressedCsr::from_parts(vec![(1, 2)], vec![1]).is_none(), "first offset not 0");
         assert!(CompressedCsr::from_parts(vec![(0, 0)], vec![]).is_none(), "zero count");
-        assert!(CompressedCsr::from_parts(vec![(0, 1), (0, 1)], vec![]).is_none(), "non-increasing");
+        assert!(
+            CompressedCsr::from_parts(vec![(0, 1), (0, 1)], vec![]).is_none(),
+            "non-increasing"
+        );
         assert!(CompressedCsr::from_parts(vec![(0, 2)], vec![5]).is_none(), "does not close");
     }
 

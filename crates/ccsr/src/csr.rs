@@ -7,10 +7,9 @@
 //! advantage over adjacency lists and sort tries called out in §IV.
 
 use csce_graph::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// A standard CSR over `n` vertices.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Csr {
     offsets: Vec<u32>,
     neighbors: Vec<u32>,

@@ -9,10 +9,9 @@
 //! pair plus `directed = false`.
 
 use csce_graph::{Graph, Label, VertexId, NO_LABEL};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of one edge-isomorphism cluster.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClusterKey {
     /// Label of the outgoing-side vertex (the smaller label for undirected
     /// clusters).
@@ -39,7 +38,13 @@ impl ClusterKey {
     }
 
     /// The key of the cluster containing a concrete data edge.
-    pub fn of_edge(g: &Graph, src: VertexId, dst: VertexId, edge_label: Label, directed: bool) -> Self {
+    pub fn of_edge(
+        g: &Graph,
+        src: VertexId,
+        dst: VertexId,
+        edge_label: Label,
+        directed: bool,
+    ) -> Self {
         if directed {
             ClusterKey::directed(g.label(src), g.label(dst), edge_label)
         } else {

@@ -34,5 +34,5 @@ pub use cluster::{Cluster, DecodedCluster};
 pub use compress::CompressedCsr;
 pub use csr::Csr;
 pub use key::ClusterKey;
-pub use read::{read_csr, GcStar};
+pub use read::{read_csr, GcStar, ReadStats};
 pub use stats::CcsrStats;

@@ -2,15 +2,14 @@
 //!
 //! Clustering is the offline stage of Fig. 2 and is paid once per data
 //! graph; the result is written to a compact little-endian binary file and
-//! memory-loaded for each matching task. The format is hand-rolled on the
-//! `bytes` crate: a magic header, the vertex label array, then each
+//! memory-loaded for each matching task. The format is entirely
+//! hand-rolled: a magic header, the vertex label array, then each
 //! cluster's key, compressed row runs, and column index.
 
 use crate::build::Ccsr;
 use crate::cluster::Cluster;
 use crate::compress::CompressedCsr;
 use crate::key::ClusterKey;
-use bytes::{Buf, BufMut};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"CSCEGC1\0";
@@ -40,71 +39,86 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
-    buf.put_u32_le(c.runs().len() as u32);
-    for &(value, count) in c.runs() {
-        buf.put_u32_le(value);
-        buf.put_u32_le(count);
+#[inline]
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Split `n` bytes off the front of the cursor, or fail cleanly.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], PersistError> {
+    if buf.len() < n {
+        return Err(PersistError::Corrupt("unexpected end of file"));
     }
-    buf.put_u32_le(c.neighbors().len() as u32);
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
+    let bytes = take(buf, 4)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+}
+
+fn read_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
+    Ok(take(buf, 1)?[0])
+}
+
+fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
+    put_u32_le(buf, c.runs().len() as u32);
+    for &(value, count) in c.runs() {
+        put_u32_le(buf, value);
+        put_u32_le(buf, count);
+    }
+    put_u32_le(buf, c.neighbors().len() as u32);
     for &x in c.neighbors() {
-        buf.put_u32_le(x);
+        put_u32_le(buf, x);
     }
 }
 
 fn get_compressed(buf: &mut &[u8]) -> Result<CompressedCsr, PersistError> {
     let runs_len = read_u32(buf)? as usize;
-    if buf.remaining() < runs_len * 8 {
-        return Err(PersistError::Corrupt("truncated runs"));
-    }
+    let runs_bytes =
+        take(buf, runs_len * 8).map_err(|_| PersistError::Corrupt("truncated runs"))?;
     let mut runs = Vec::with_capacity(runs_len);
-    for _ in 0..runs_len {
-        let value = buf.get_u32_le();
-        let count = buf.get_u32_le();
+    for chunk in runs_bytes.chunks_exact(8) {
+        let value = u32::from_le_bytes(chunk[..4].try_into().expect("4-byte slice"));
+        let count = u32::from_le_bytes(chunk[4..].try_into().expect("4-byte slice"));
         runs.push((value, count));
     }
     let nbr_len = read_u32(buf)? as usize;
-    if buf.remaining() < nbr_len * 4 {
-        return Err(PersistError::Corrupt("truncated neighbors"));
-    }
+    let nbr_bytes =
+        take(buf, nbr_len * 4).map_err(|_| PersistError::Corrupt("truncated neighbors"))?;
     let mut neighbors = Vec::with_capacity(nbr_len);
-    for _ in 0..nbr_len {
-        neighbors.push(buf.get_u32_le());
+    for chunk in nbr_bytes.chunks_exact(4) {
+        neighbors.push(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")));
     }
     CompressedCsr::from_parts(runs, neighbors)
         .ok_or(PersistError::Corrupt("invalid compressed row index"))
 }
 
-fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
-    if buf.remaining() < 4 {
-        return Err(PersistError::Corrupt("unexpected end of file"));
-    }
-    Ok(buf.get_u32_le())
-}
-
 /// Encode a `G_C` into bytes.
 pub fn to_bytes(ccsr: &Ccsr) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + ccsr.heap_bytes());
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(ccsr.n() as u32);
+    buf.extend_from_slice(MAGIC);
+    put_u32_le(&mut buf, ccsr.n() as u32);
     for &l in ccsr.vertex_labels() {
-        buf.put_u32_le(l);
+        put_u32_le(&mut buf, l);
     }
     let mut clusters: Vec<&Cluster> = ccsr.clusters().collect();
     clusters.sort_unstable_by_key(|c| c.key);
-    buf.put_u32_le(clusters.len() as u32);
+    put_u32_le(&mut buf, clusters.len() as u32);
     for c in clusters {
-        buf.put_u32_le(c.key.src_label);
-        buf.put_u32_le(c.key.dst_label);
-        buf.put_u32_le(c.key.edge_label);
-        buf.put_u8(c.key.directed as u8);
+        put_u32_le(&mut buf, c.key.src_label);
+        put_u32_le(&mut buf, c.key.dst_label);
+        put_u32_le(&mut buf, c.key.edge_label);
+        buf.push(c.key.directed as u8);
         put_compressed(&mut buf, &c.out);
         match &c.inc {
             Some(inc) => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_compressed(&mut buf, inc);
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
     }
     buf
@@ -112,17 +126,16 @@ pub fn to_bytes(ccsr: &Ccsr) -> Vec<u8> {
 
 /// Decode a `G_C` from bytes.
 pub fn from_bytes(mut buf: &[u8]) -> Result<Ccsr, PersistError> {
-    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(PersistError::Corrupt("bad magic"));
     }
-    buf.advance(MAGIC.len());
+    buf = &buf[MAGIC.len()..];
     let n = read_u32(&mut buf)?;
-    if buf.remaining() < n as usize * 4 {
-        return Err(PersistError::Corrupt("truncated labels"));
-    }
+    let label_bytes =
+        take(&mut buf, n as usize * 4).map_err(|_| PersistError::Corrupt("truncated labels"))?;
     let mut labels = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        labels.push(buf.get_u32_le());
+    for chunk in label_bytes.chunks_exact(4) {
+        labels.push(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")));
     }
     let cluster_count = read_u32(&mut buf)? as usize;
     let mut clusters = Vec::with_capacity(cluster_count);
@@ -130,22 +143,18 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Ccsr, PersistError> {
         let src_label = read_u32(&mut buf)?;
         let dst_label = read_u32(&mut buf)?;
         let edge_label = read_u32(&mut buf)?;
-        if buf.remaining() < 1 {
-            return Err(PersistError::Corrupt("truncated key"));
-        }
-        let directed = buf.get_u8() != 0;
+        let directed = read_u8(&mut buf).map_err(|_| PersistError::Corrupt("truncated key"))? != 0;
         let key = ClusterKey { src_label, dst_label, edge_label, directed };
         let out = get_compressed(&mut buf)?;
-        if buf.remaining() < 1 {
-            return Err(PersistError::Corrupt("truncated inc flag"));
-        }
-        let inc = if buf.get_u8() != 0 { Some(get_compressed(&mut buf)?) } else { None };
+        let inc_flag =
+            read_u8(&mut buf).map_err(|_| PersistError::Corrupt("truncated inc flag"))?;
+        let inc = if inc_flag != 0 { Some(get_compressed(&mut buf)?) } else { None };
         if directed != inc.is_some() {
             return Err(PersistError::Corrupt("direction / csr-count mismatch"));
         }
         clusters.push(Cluster { key, out, inc });
     }
-    if buf.has_remaining() {
+    if !buf.is_empty() {
         return Err(PersistError::Corrupt("trailing bytes"));
     }
     Ok(Ccsr::from_parts(n, labels, clusters))

@@ -16,6 +16,19 @@ use csce_graph::{FxHashMap, Graph, Variant};
 pub struct GcStar<'a> {
     ccsr: &'a Ccsr,
     clusters: FxHashMap<ClusterKey, DecodedCluster>,
+    stats: ReadStats,
+}
+
+/// What `ReadCSR` did: the CCSR-side work counters of one matching task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Clusters selected and decompressed (distinct identifiers; repeated
+    /// pattern edges share one decode).
+    pub clusters_read: u64,
+    /// CSR rows materialized across those clusters (out + in directions).
+    pub rows_decompressed: u64,
+    /// Cluster identifiers consulted that turned out empty in `G_C`.
+    pub missing_clusters: u64,
 }
 
 /// The cluster identifier a pattern edge looks up (Algorithm 1, lines 3–8).
@@ -30,12 +43,20 @@ pub fn pattern_edge_key(p: &Graph, e: &Edge) -> ClusterKey {
 /// Algorithm 1: select and decompress the clusters needed by `(P, θ)`.
 pub fn read_csr<'a>(ccsr: &'a Ccsr, p: &Graph, variant: Variant) -> GcStar<'a> {
     let mut clusters: FxHashMap<ClusterKey, DecodedCluster> = FxHashMap::default();
-    let load = |key: ClusterKey, clusters: &mut FxHashMap<ClusterKey, DecodedCluster>| {
+    let mut stats = ReadStats::default();
+    let mut load = |key: ClusterKey, clusters: &mut FxHashMap<ClusterKey, DecodedCluster>| {
         if clusters.contains_key(&key) {
             return;
         }
-        if let Some(c) = ccsr.cluster(&key) {
-            clusters.insert(key, c.decode());
+        match ccsr.cluster(&key) {
+            Some(c) => {
+                let d = c.decode();
+                stats.clusters_read += 1;
+                stats.rows_decompressed +=
+                    (d.out.row_count() + d.inc.as_ref().map_or(0, |c| c.row_count())) as u64;
+                clusters.insert(key, d);
+            }
+            None => stats.missing_clusters += 1,
         }
     };
     for e in p.edges() {
@@ -55,7 +76,7 @@ pub fn read_csr<'a>(ccsr: &'a Ccsr, p: &Graph, variant: Variant) -> GcStar<'a> {
             }
         }
     }
-    GcStar { ccsr, clusters }
+    GcStar { ccsr, clusters, stats }
 }
 
 impl<'a> GcStar<'a> {
@@ -84,10 +105,7 @@ impl<'a> GcStar<'a> {
         a: csce_graph::Label,
         b: csce_graph::Label,
     ) -> impl Iterator<Item = &DecodedCluster> {
-        self.ccsr
-            .negation_keys(a, b)
-            .iter()
-            .filter_map(move |key| self.clusters.get(key))
+        self.ccsr.negation_keys(a, b).iter().filter_map(move |key| self.clusters.get(key))
     }
 
     /// Whether any data edge exists between two vertex labels — Algorithm 2
@@ -100,6 +118,11 @@ impl<'a> GcStar<'a> {
     /// Number of decoded clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// Work counters of the `ReadCSR` call that built this working set.
+    pub fn read_stats(&self) -> ReadStats {
+        self.stats
     }
 
     /// Approximate heap footprint of the decoded working set, for the

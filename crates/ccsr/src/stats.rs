@@ -28,8 +28,7 @@ impl CcsrStats {
     pub fn of(ccsr: &Ccsr) -> CcsrStats {
         let mut sizes: Vec<usize> = ccsr.clusters().map(|c| c.edge_count()).collect();
         sizes.sort_unstable();
-        let csr_count: usize =
-            ccsr.clusters().map(|c| 1 + usize::from(c.inc.is_some())).sum();
+        let csr_count: usize = ccsr.clusters().map(|c| 1 + usize::from(c.inc.is_some())).sum();
         CcsrStats {
             vertex_count: ccsr.n(),
             cluster_count: ccsr.cluster_count(),

@@ -37,11 +37,8 @@ pub struct Catalog<'a> {
 
 impl<'a> Catalog<'a> {
     pub fn new(pattern: &'a Graph, star: &'a GcStar<'a>) -> Catalog<'a> {
-        let edge_clusters: Vec<Option<&'a DecodedCluster>> = pattern
-            .edges()
-            .iter()
-            .map(|e| star.cluster_for_edge(pattern, e))
-            .collect();
+        let edge_clusters: Vec<Option<&'a DecodedCluster>> =
+            pattern.edges().iter().map(|e| star.cluster_for_edge(pattern, e)).collect();
         let mut incident: Vec<Vec<(usize, Side)>> = vec![Vec::new(); pattern.n()];
         for (i, e) in pattern.edges().iter().enumerate() {
             incident[e.src as usize].push((i, Side::Src));
@@ -185,7 +182,9 @@ impl<'a> Catalog<'a> {
         let rows: Vec<VertexId> = if c.key.directed {
             match side {
                 Side::Src => c.out.nonempty_rows().collect(),
-                Side::Dst => c.inc.as_ref().expect("directed cluster has inc csr").nonempty_rows().collect(),
+                Side::Dst => {
+                    c.inc.as_ref().expect("directed cluster has inc csr").nonempty_rows().collect()
+                }
             }
         } else if c.key.symmetric_labels() {
             c.out.nonempty_rows().collect()
@@ -199,7 +198,11 @@ impl<'a> Catalog<'a> {
 
     /// The negation clusters between two vertex labels (vertex-induced
     /// matching subtracts data neighbors found in these).
-    pub fn negation_clusters(&self, a: Label, b: Label) -> impl Iterator<Item = &'a DecodedCluster> {
+    pub fn negation_clusters(
+        &self,
+        a: Label,
+        b: Label,
+    ) -> impl Iterator<Item = &'a DecodedCluster> {
         self.star.negation_clusters(a, b)
     }
 

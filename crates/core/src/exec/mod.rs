@@ -19,13 +19,15 @@
 
 mod stats;
 
-pub use stats::ExecStats;
+pub use stats::{DeepStats, ExecStats};
 
 use crate::catalog::Catalog;
 use crate::plan::{ExecNode, Plan};
 use csce_graph::graph::Orient;
 use csce_graph::util::{intersect_sorted, subtract_sorted};
 use csce_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Runtime options.
@@ -39,11 +41,15 @@ pub struct RunConfig {
     /// Abort after this much wall time (counts and stats are then partial
     /// and `stats.timed_out` is set).
     pub time_limit: Option<Duration>,
+    /// Collect [`DeepStats`] (per-depth + intersection counters). Only
+    /// effective when the `deep-stats` feature is compiled in; the hot
+    /// loop pays one predictable branch when off.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { use_sce_cache: true, factorize: true, time_limit: None }
+        RunConfig { use_sce_cache: true, factorize: true, time_limit: None, profile: false }
     }
 }
 
@@ -68,6 +74,11 @@ pub struct Executor<'a> {
     stats: ExecStats,
     deadline: Option<Instant>,
     stopped: bool,
+    /// Live recursion-node counter shared with a progress reporter; bumped
+    /// in batches from `check_deadline` so the hot loop never touches it.
+    progress: Option<Arc<AtomicU64>>,
+    /// Nodes already published to `progress`.
+    progress_published: u64,
     /// Ordering restrictions `f(a) < f(b)`, indexed by the pattern vertex
     /// at which each becomes checkable (the later one in `Φ*`).
     checks_at: Vec<Vec<(VertexId, VertexId)>>,
@@ -90,9 +101,19 @@ impl<'a> Executor<'a> {
             stats: ExecStats::default(),
             deadline: None,
             stopped: false,
+            progress: None,
+            progress_published: 0,
             checks_at: vec![Vec::new(); catalog.pattern().n()],
             root_filter: None,
         }
+    }
+
+    /// Publish live recursion-node counts into `sink` (batched — roughly
+    /// every 4096 nodes). Used by the CLI's `--progress` heartbeat; with
+    /// multiple workers sharing one sink the counts add up.
+    pub fn with_progress(mut self, sink: Arc<AtomicU64>) -> Executor<'a> {
+        self.progress = Some(sink);
+        self
     }
 
     /// Restrict the root vertex to every `stride`-th candidate starting at
@@ -117,11 +138,8 @@ impl<'a> Executor<'a> {
             list.clear();
         }
         for &(a, b) in restrictions {
-            let later = if self.plan.pos_of[a as usize] > self.plan.pos_of[b as usize] {
-                a
-            } else {
-                b
-            };
+            let later =
+                if self.plan.pos_of[a as usize] > self.plan.pos_of[b as usize] { a } else { b };
             self.checks_at[later as usize].push((a, b));
         }
         self
@@ -145,8 +163,12 @@ impl<'a> Executor<'a> {
             c.valid = false;
         }
         self.stats = ExecStats::default();
+        if cfg!(feature = "deep-stats") && self.config.profile {
+            self.stats.deep = Some(DeepStats::default());
+        }
         self.deadline = self.config.time_limit.map(|d| Instant::now() + d);
         self.stopped = false;
+        self.progress_published = 0;
     }
 
     /// Count all embeddings. Uses the factorized tree when enabled (and
@@ -159,8 +181,9 @@ impl<'a> Executor<'a> {
         } else {
             sequential_tree(&self.plan.order)
         };
-        let count = self.count_node(&root);
+        let count = self.count_node(&root, 0);
         self.stats.embeddings = count;
+        self.publish_progress();
         count
     }
 
@@ -170,6 +193,7 @@ impl<'a> Executor<'a> {
     pub fn enumerate(&mut self, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
         self.reset();
         self.enumerate_depth(0, emit);
+        self.publish_progress();
     }
 
     /// Statistics of the last run.
@@ -177,11 +201,23 @@ impl<'a> Executor<'a> {
         &self.stats
     }
 
+    /// Push the not-yet-published node count into the progress sink.
+    fn publish_progress(&mut self) {
+        if let Some(sink) = &self.progress {
+            let delta = self.stats.nodes - self.progress_published;
+            if delta > 0 {
+                sink.fetch_add(delta, Ordering::Relaxed);
+                self.progress_published = self.stats.nodes;
+            }
+        }
+    }
+
     fn check_deadline(&mut self) -> bool {
         if self.stopped {
             return true;
         }
         if self.stats.nodes.is_multiple_of(4096) {
+            self.publish_progress();
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     self.stats.timed_out = true;
@@ -192,14 +228,14 @@ impl<'a> Executor<'a> {
         self.stopped
     }
 
-    fn count_node(&mut self, node: &ExecNode) -> u64 {
+    fn count_node(&mut self, node: &ExecNode, depth: usize) -> u64 {
         match node {
             ExecNode::Done => 1,
             ExecNode::Split { components } => {
                 self.stats.splits_taken += 1;
                 let mut product = 1u64;
                 for comp in components {
-                    let c = self.count_node(comp);
+                    let c = self.count_node(comp, depth);
                     if c == 0 {
                         return 0;
                     }
@@ -214,7 +250,7 @@ impl<'a> Executor<'a> {
                 }
                 let u = *u;
                 let injective = self.plan.variant.injective();
-                let (slot, len) = self.materialize_candidates(u);
+                let (slot, len) = self.materialize_candidates(u, depth);
                 let root_filter = if u == self.plan.order[0] { self.root_filter } else { None };
                 let mut total = 0u64;
                 for i in 0..len {
@@ -231,11 +267,15 @@ impl<'a> Executor<'a> {
                         continue;
                     }
                     self.stats.candidates_scanned += 1;
+                    #[cfg(feature = "deep-stats")]
+                    if let Some(deep) = self.stats.deep.as_mut() {
+                        DeepStats::bump(&mut deep.depth_candidates, depth);
+                    }
                     self.f[u as usize] = v;
                     if injective {
                         self.used[v as usize] = true;
                     }
-                    total += self.count_node(next);
+                    total += self.count_node(next, depth + 1);
                     if injective {
                         self.used[v as usize] = false;
                     }
@@ -263,7 +303,7 @@ impl<'a> Executor<'a> {
         }
         let u = self.plan.order[depth];
         let injective = self.plan.variant.injective();
-        let (slot, len) = self.materialize_candidates(u);
+        let (slot, len) = self.materialize_candidates(u, depth);
         for i in 0..len {
             let v = self.caches[slot].cands[i];
             if injective && self.used[v as usize] {
@@ -273,6 +313,10 @@ impl<'a> Executor<'a> {
                 continue;
             }
             self.stats.candidates_scanned += 1;
+            #[cfg(feature = "deep-stats")]
+            if let Some(deep) = self.stats.deep.as_mut() {
+                DeepStats::bump(&mut deep.depth_candidates, depth);
+            }
             self.f[u as usize] = v;
             if injective {
                 self.used[v as usize] = true;
@@ -295,22 +339,25 @@ impl<'a> Executor<'a> {
     /// injectivity filter (`C \ {v_x}`) is applied by the caller per
     /// candidate, which is what makes the cached set reusable across
     /// sibling mappings.
-    fn materialize_candidates(&mut self, u: VertexId) -> (usize, usize) {
+    fn materialize_candidates(&mut self, u: VertexId, depth: usize) -> (usize, usize) {
         let slot = self.plan.cache_slot[u as usize] as usize;
         let parents = self.plan.dag.parents(u);
         // Signature: the mappings of all H-parents (edge + negation).
         let sig_matches = self.config.use_sce_cache
             && self.caches[slot].valid
             && self.caches[slot].sig.len() == parents.len()
-            && parents
-                .iter()
-                .zip(&self.caches[slot].sig)
-                .all(|(&p, &s)| self.f[p as usize] == s);
+            && parents.iter().zip(&self.caches[slot].sig).all(|(&p, &s)| self.f[p as usize] == s);
         if sig_matches {
             self.stats.sce_cache_hits += 1;
+            #[cfg(feature = "deep-stats")]
+            if let Some(deep) = self.stats.deep.as_mut() {
+                DeepStats::bump(&mut deep.depth_sce_hits, depth);
+            }
             let len = self.caches[slot].cands.len();
             return (slot, len);
         }
+        #[cfg(not(feature = "deep-stats"))]
+        let _ = depth;
         self.stats.candidate_computations += 1;
         let mut cands = std::mem::take(&mut self.caches[slot].cands);
         self.compute_candidates(u, &mut cands);
@@ -324,7 +371,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Compute `C(u | Φ, f)` from scratch into `out`.
-    fn compute_candidates(&self, u: VertexId, out: &mut Vec<VertexId>) {
+    fn compute_candidates(&mut self, u: VertexId, out: &mut Vec<VertexId>) {
         out.clear();
         let edge_parents = self.plan.dag.edge_parents(u);
         if edge_parents.is_empty() {
@@ -343,14 +390,29 @@ impl<'a> Executor<'a> {
                 rows.push(row);
             }
             rows.sort_unstable_by_key(|r| r.len());
+            #[cfg(feature = "deep-stats")]
+            let multi_way = rows.len() > 1;
             out.extend_from_slice(rows[0]);
             let mut tmp = Vec::new();
             for row in &rows[1..] {
+                #[cfg(feature = "deep-stats")]
+                if let Some(deep) = self.stats.deep.as_mut() {
+                    deep.intersection_input += (out.len() + row.len()) as u64;
+                }
                 intersect_sorted(out, row, &mut tmp);
                 std::mem::swap(out, &mut tmp);
                 if out.is_empty() {
-                    return;
+                    break;
                 }
+            }
+            #[cfg(feature = "deep-stats")]
+            if multi_way {
+                if let Some(deep) = self.stats.deep.as_mut() {
+                    deep.intersection_output += out.len() as u64;
+                }
+            }
+            if out.is_empty() {
+                return;
             }
         }
         // Vertex-induced filtering: a candidate is disqualified by any
@@ -363,6 +425,7 @@ impl<'a> Executor<'a> {
             debug_assert_ne!(w, UNMAPPED, "dependency parents precede u in Φ*");
             let parent_label = p.label(filt.parent);
             for cluster in self.catalog.negation_clusters(parent_label, p.label(u)) {
+                self.stats.negation_clusters += 1;
                 let key = cluster.key;
                 if key.directed {
                     if key.src_label == parent_label
@@ -386,37 +449,63 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Outcome of a parallel count: the total plus the merged per-worker
+/// counters ([`ExecStats::merge`] — counters add, `timed_out` is sticky,
+/// so a partial result is never silently reported as complete).
+#[derive(Clone, Debug)]
+pub struct ParallelRun {
+    pub count: u64,
+    pub stats: ExecStats,
+}
+
 /// Count embeddings using `threads` worker threads, partitioning the root
 /// vertex's candidates round-robin (each partial count is an independent
 /// [`Executor`] run; partials sum exactly to the sequential count).
 ///
 /// The paper evaluates single-threaded matching; this is the natural
 /// data-parallel extension its execution model admits — SCE caches and
-/// factorized counting work unchanged inside each partition.
+/// factorized counting work unchanged inside each partition. A shared
+/// `progress` sink, if given, accumulates recursion nodes across workers.
 pub fn count_parallel(
     star: &csce_ccsr::GcStar<'_>,
     pattern: &csce_graph::Graph,
     plan: &Plan,
     config: RunConfig,
     threads: usize,
-) -> u64 {
+    progress: Option<Arc<AtomicU64>>,
+) -> ParallelRun {
     assert!(threads >= 1);
-    if threads == 1 {
+    let worker = |offset: usize| {
         let catalog = Catalog::new(pattern, star);
-        return Executor::new(&catalog, plan, config).count();
+        let mut exec = Executor::new(&catalog, plan, config);
+        if threads > 1 {
+            exec = exec.with_root_partition(threads, offset);
+        }
+        if let Some(sink) = &progress {
+            exec = exec.with_progress(Arc::clone(sink));
+        }
+        let count = exec.count();
+        (count, exec.stats().clone())
+    };
+    if threads == 1 {
+        let (count, stats) = worker(0);
+        return ParallelRun { count, stats };
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|offset| {
-                scope.spawn(move || {
-                    let catalog = Catalog::new(pattern, star);
-                    Executor::new(&catalog, plan, config)
-                        .with_root_partition(threads, offset)
-                        .count()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        let worker = &worker;
+        let handles: Vec<_> =
+            (0..threads).map(|offset| scope.spawn(move || worker(offset))).collect();
+        let mut total = 0u64;
+        let mut stats = ExecStats::default();
+        for h in handles {
+            let (count, worker_stats) = h.join().expect("worker panicked");
+            total += count;
+            stats.merge(&worker_stats);
+        }
+        // Merged `embeddings` double-counts nothing, but keep it equal to
+        // the summed total for the invariant embeddings == count.
+        stats.embeddings = total;
+        ParallelRun { count: total, stats }
     })
 }
 
@@ -653,11 +742,24 @@ mod tests {
             let star = read_csr(&gc, &p, variant);
             let catalog = Catalog::new(&p, &star);
             let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
-            let sequential = Executor::new(&catalog, &plan, RunConfig::default()).count();
+            let mut seq_exec = Executor::new(&catalog, &plan, RunConfig::default());
+            let sequential = seq_exec.count();
+            let seq_scanned = seq_exec.stats().candidates_scanned;
             for threads in [1usize, 2, 3, 7] {
                 let parallel =
-                    count_parallel(&star, &p, &plan, RunConfig::default(), threads);
-                assert_eq!(parallel, sequential, "{variant} with {threads} threads");
+                    count_parallel(&star, &p, &plan, RunConfig::default(), threads, None);
+                assert_eq!(parallel.count, sequential, "{variant} with {threads} threads");
+                assert_eq!(parallel.stats.embeddings, parallel.count);
+                assert!(!parallel.stats.timed_out);
+                // Workers partition only the root loop; below the root the
+                // same subtrees are explored, so merged scans can exceed —
+                // but never undershoot — the sequential count... except
+                // that factorized Splits may prune differently per
+                // partition. Root-candidate coverage keeps this exact for
+                // threads == 1.
+                if threads == 1 {
+                    assert_eq!(parallel.stats.candidates_scanned, seq_scanned);
+                }
             }
         }
     }

@@ -1,5 +1,7 @@
 //! Execution statistics: what the evaluation section measures per run.
 
+use csce_obs::MetricsRegistry;
+
 /// Counters collected during one execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
@@ -16,8 +18,52 @@ pub struct ExecStats {
     pub nodes: u64,
     /// Factorized `Split` nodes evaluated.
     pub splits_taken: u64,
+    /// Negation clusters consulted by vertex-induced filtering.
+    pub negation_clusters: u64,
     /// The time limit fired; results are partial.
     pub timed_out: bool,
+    /// Per-depth and intersection profiling, present when the run asked
+    /// for it (`RunConfig::profile` with the `deep-stats` feature).
+    pub deep: Option<DeepStats>,
+}
+
+/// Hot-loop profiling counters, collected only on request because they
+/// touch per-depth vectors on every candidate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeepStats {
+    /// Candidates scanned at each recursion depth.
+    pub depth_candidates: Vec<u64>,
+    /// SCE cache hits at each recursion depth.
+    pub depth_sce_hits: Vec<u64>,
+    /// Total elements fed into candidate-set intersections.
+    pub intersection_input: u64,
+    /// Total elements surviving those intersections.
+    pub intersection_output: u64,
+}
+
+impl DeepStats {
+    #[inline]
+    pub fn bump(series: &mut Vec<u64>, depth: usize) {
+        if series.len() <= depth {
+            series.resize(depth + 1, 0);
+        }
+        series[depth] += 1;
+    }
+
+    fn merge(&mut self, other: &DeepStats) {
+        fn add(mine: &mut Vec<u64>, theirs: &[u64]) {
+            if mine.len() < theirs.len() {
+                mine.resize(theirs.len(), 0);
+            }
+            for (m, &t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        add(&mut self.depth_candidates, &other.depth_candidates);
+        add(&mut self.depth_sce_hits, &other.depth_sce_hits);
+        self.intersection_input += other.intersection_input;
+        self.intersection_output += other.intersection_output;
+    }
 }
 
 impl ExecStats {
@@ -28,6 +74,44 @@ impl ExecStats {
             0.0
         } else {
             self.sce_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Combine another run's counters into this one — the reduction used
+    /// for per-worker stats in parallel counting. Counters add, per-depth
+    /// series add element-wise, and `timed_out` is sticky (any worker
+    /// timing out makes the merged result partial).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.embeddings += other.embeddings;
+        self.sce_cache_hits += other.sce_cache_hits;
+        self.candidate_computations += other.candidate_computations;
+        self.candidates_scanned += other.candidates_scanned;
+        self.nodes += other.nodes;
+        self.splits_taken += other.splits_taken;
+        self.negation_clusters += other.negation_clusters;
+        self.timed_out |= other.timed_out;
+        if let Some(theirs) = &other.deep {
+            self.deep.get_or_insert_with(DeepStats::default).merge(theirs);
+        }
+    }
+
+    /// Export every counter into a metrics registry under the `exec.`
+    /// prefix (the names the run report and `BENCH_*.json` files use).
+    pub fn export(&self, m: &mut MetricsRegistry) {
+        m.set_counter("exec.embeddings", self.embeddings);
+        m.set_counter("exec.sce_cache_hits", self.sce_cache_hits);
+        m.set_counter("exec.candidate_computations", self.candidate_computations);
+        m.set_counter("exec.candidates_scanned", self.candidates_scanned);
+        m.set_counter("exec.nodes", self.nodes);
+        m.set_counter("exec.splits_taken", self.splits_taken);
+        m.set_counter("exec.negation_clusters", self.negation_clusters);
+        m.set_counter("exec.timed_out", self.timed_out as u64);
+        m.set_gauge("exec.sce_hit_rate", self.sce_hit_rate());
+        if let Some(deep) = &self.deep {
+            m.set_series("exec.depth_candidates", deep.depth_candidates.clone());
+            m.set_series("exec.depth_sce_hits", deep.depth_sce_hits.clone());
+            m.set_counter("exec.intersection_input", deep.intersection_input);
+            m.set_counter("exec.intersection_output", deep.intersection_output);
         }
     }
 }
@@ -43,5 +127,46 @@ mod tests {
         s.sce_cache_hits = 3;
         s.candidate_computations = 1;
         assert!((s.sce_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_and_propagates_timeout() {
+        let mut a = ExecStats { embeddings: 2, nodes: 10, ..Default::default() };
+        let b = ExecStats {
+            embeddings: 3,
+            nodes: 5,
+            timed_out: true,
+            deep: Some(DeepStats {
+                depth_candidates: vec![1, 2],
+                depth_sce_hits: vec![0, 1],
+                intersection_input: 7,
+                intersection_output: 4,
+            }),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.embeddings, 5);
+        assert_eq!(a.nodes, 15);
+        assert!(a.timed_out);
+        let deep = a.deep.as_ref().expect("deep stats adopted");
+        assert_eq!(deep.depth_candidates, vec![1, 2]);
+        a.merge(&b);
+        assert_eq!(a.deep.as_ref().unwrap().intersection_input, 14);
+    }
+
+    #[test]
+    fn export_covers_all_counters() {
+        let stats = ExecStats {
+            embeddings: 1,
+            sce_cache_hits: 2,
+            candidate_computations: 2,
+            deep: Some(DeepStats { depth_candidates: vec![4], ..Default::default() }),
+            ..Default::default()
+        };
+        let mut m = MetricsRegistry::new();
+        stats.export(&mut m);
+        assert_eq!(m.counter("exec.embeddings"), 1);
+        assert_eq!(m.gauge("exec.sce_hit_rate"), Some(0.5));
+        assert_eq!(m.series("exec.depth_candidates"), &[4]);
     }
 }

@@ -45,10 +45,14 @@ pub mod exec;
 pub mod plan;
 
 pub use catalog::Catalog;
-pub use exec::{count_parallel, ExecStats, Executor, RunConfig};
+pub use exec::{count_parallel, DeepStats, ExecStats, Executor, ParallelRun, RunConfig};
 pub use plan::{Plan, Planner, PlannerConfig, SceAnalysis};
 
-use csce_ccsr::{build_ccsr, read_csr, Ccsr};
+use csce_ccsr::{build_ccsr, read_csr, Ccsr, ReadStats};
+use csce_obs::Recorder;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
 use csce_graph::{Graph, Variant, VertexId};
 use std::time::{Duration, Instant};
 
@@ -70,6 +74,8 @@ pub struct QueryOutput {
     pub exec_time: Duration,
     /// Decoded working-set size in bytes (`G_C^*`).
     pub read_bytes: usize,
+    /// CCSR-side work counters of the `ReadCSR` stage.
+    pub read_stats: ReadStats,
 }
 
 impl QueryOutput {
@@ -127,26 +133,50 @@ impl Engine {
         planner: PlannerConfig,
         run: RunConfig,
     ) -> QueryOutput {
+        self.run_observed(p, variant, planner, run, &Recorder::disabled(), 1, None)
+    }
+
+    /// [`Engine::run`] with observability: phase spans land in `recorder`
+    /// (`read → plan{gcf,dag,descendant,ldsf,nec} → execute`), `threads`
+    /// workers split the root loop, and a `progress` sink — if given —
+    /// receives live recursion-node counts for heartbeat reporting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        planner: PlannerConfig,
+        run: RunConfig,
+        recorder: &Recorder,
+        threads: usize,
+        progress: Option<Arc<AtomicU64>>,
+    ) -> QueryOutput {
         let t0 = Instant::now();
-        let star = read_csr(&self.ccsr, p, variant);
+        let star = recorder.time("read", || read_csr(&self.ccsr, p, variant));
         let read_time = t0.elapsed();
         let read_bytes = star.heap_bytes();
+        let read_stats = star.read_stats();
         let catalog = Catalog::new(p, &star);
         let t1 = Instant::now();
-        let plan = Planner::new(planner).plan(&catalog, variant);
+        let plan = {
+            let _span = recorder.span("plan");
+            Planner::new(planner).plan_recorded(&catalog, variant, recorder)
+        };
         let plan_time = t1.elapsed();
         let t2 = Instant::now();
-        let mut exec = Executor::new(&catalog, &plan, run);
-        let count = exec.count();
+        let _exec_span = recorder.span("execute");
+        let result = exec::count_parallel(&star, p, &plan, run, threads.max(1), progress);
+        drop(_exec_span);
         let exec_time = t2.elapsed();
         QueryOutput {
-            count,
-            stats: exec.stats().clone(),
+            count: result.count,
+            stats: result.stats,
             sce: plan.sce.clone(),
             read_time,
             plan_time,
             exec_time,
             read_bytes,
+            read_stats,
         }
     }
 
@@ -168,28 +198,32 @@ impl Engine {
     /// is an opt-in application-level API; the EMAIL-EU case study's
     /// clique counting uses it.
     pub fn count_subgraphs(&self, p: &Graph, variant: Variant) -> u64 {
-        assert!(
-            variant.injective(),
-            "distinct-subgraph counting needs an injective variant"
-        );
+        assert!(variant.injective(), "distinct-subgraph counting needs an injective variant");
         let (restrictions, _aut) = csce_graph::automorphism::stabilizer_restrictions(p);
         let star = read_csr(&self.ccsr, p, variant);
         let catalog = Catalog::new(p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
-        let mut exec = Executor::new(&catalog, &plan, RunConfig::default())
-            .with_restrictions(&restrictions);
+        let mut exec =
+            Executor::new(&catalog, &plan, RunConfig::default()).with_restrictions(&restrictions);
         exec.count()
     }
 
     /// Count all embeddings across `threads` worker threads (root
     /// candidates partitioned round-robin). Exact — partials sum to the
-    /// sequential count.
-    pub fn count_parallel(&self, p: &Graph, variant: Variant, threads: usize) -> u64 {
+    /// sequential count — and the returned stats are the per-worker merge,
+    /// so `timed_out` reflects any worker hitting `run.time_limit`.
+    pub fn count_parallel(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        threads: usize,
+        run: RunConfig,
+    ) -> ParallelRun {
         let star = read_csr(&self.ccsr, p, variant);
         let catalog = Catalog::new(p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
         drop(catalog);
-        exec::count_parallel(&star, p, &plan, RunConfig::default(), threads)
+        exec::count_parallel(&star, p, &plan, run, threads, None)
     }
 
     /// Enumerate embeddings; `emit` receives the mapping array and returns
@@ -299,9 +333,6 @@ mod tests {
         pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
         pb.add_undirected_edge(1, 2, NO_LABEL).unwrap();
         let p = pb.build();
-        assert_eq!(
-            engine.count(&p, Variant::EdgeInduced),
-            engine2.count(&p, Variant::EdgeInduced)
-        );
+        assert_eq!(engine.count(&p, Variant::EdgeInduced), engine2.count(&p, Variant::EdgeInduced));
     }
 }

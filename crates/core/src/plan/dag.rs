@@ -153,9 +153,7 @@ impl Dag {
     /// given precomputed ancestor sets. Independent vertices have
     /// sequentially equivalent candidates (Definition 1).
     pub fn independent(anc: &[BitSet], a: VertexId, b: VertexId) -> bool {
-        a != b
-            && !anc[a as usize].contains(b as usize)
-            && !anc[b as usize].contains(a as usize)
+        a != b && !anc[a as usize].contains(b as usize) && !anc[b as usize].contains(a as usize)
     }
 }
 

@@ -17,8 +17,10 @@ pub fn descendant_sizes(dag: &Dag) -> Vec<usize> {
     let n = dag.n();
     // Process vertices children-first: repeatedly peel vertices whose
     // children are all done (reverse Kahn), as in Algorithm 3.
-    let mut remaining_children: Vec<usize> = (0..n).map(|u| dag.children(u as VertexId).len()).collect();
-    let mut ready: Vec<VertexId> = (0..n as VertexId).filter(|&u| remaining_children[u as usize] == 0).collect();
+    let mut remaining_children: Vec<usize> =
+        (0..n).map(|u| dag.children(u as VertexId).len()).collect();
+    let mut ready: Vec<VertexId> =
+        (0..n as VertexId).filter(|&u| remaining_children[u as usize] == 0).collect();
     let mut sets: Vec<BitSet> = vec![BitSet::new(n); n];
     let mut done = 0usize;
     while let Some(u) = ready.pop() {

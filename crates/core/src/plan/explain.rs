@@ -40,17 +40,13 @@ pub fn explain(plan: &Plan) -> String {
     let dep_edges = plan.dag.edge_count();
     let negations: usize =
         (0..plan.order.len() as u32).map(|u| plan.dag.negation_parents(u).len()).sum();
-    let _ = writeln!(
-        out,
-        "dependency DAG: {dep_edges} edges ({negations} negation dependencies)"
-    );
+    let _ = writeln!(out, "dependency DAG: {dep_edges} edges ({negations} negation dependencies)");
     let _ = writeln!(
         out,
         "SCE: {}/{} vertices have an earlier independent vertex ({} cluster-driven)",
         plan.sce.sce_vertices, plan.sce.total_vertices, plan.sce.cluster_sce_vertices
     );
-    let nec_classes =
-        plan.nec_class.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let nec_classes = plan.nec_class.iter().copied().max().map_or(0, |m| m as usize + 1);
     let _ = writeln!(
         out,
         "NEC: {nec_classes} classes over {} vertices, {} candidate-cache slots",
@@ -83,7 +79,9 @@ mod tests {
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
         let text = super::explain(&plan);
-        for needle in ["variant", "matching order", "dependency DAG", "SCE", "NEC", "execution tree"] {
+        for needle in
+            ["variant", "matching order", "dependency DAG", "SCE", "NEC", "execution tree"]
+        {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
         assert!(text.contains("match u"));

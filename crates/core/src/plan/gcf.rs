@@ -58,10 +58,10 @@ pub fn gcf_order(catalog: &Catalog<'_>, config: GcfConfig) -> Vec<VertexId> {
     let mut touched = vec![0usize; n];
 
     let place = |v: VertexId,
-                     phi: &mut Vec<VertexId>,
-                     in_phi: &mut Vec<bool>,
-                     t: &mut Vec<[usize; 3]>,
-                     touched: &mut Vec<usize>| {
+                 phi: &mut Vec<VertexId>,
+                 in_phi: &mut Vec<bool>,
+                 t: &mut Vec<[usize; 3]>,
+                 touched: &mut Vec<usize>| {
         phi.push(v);
         in_phi[v as usize] = true;
         // v leaves the unordered pool: each unordered neighbor x counted v
@@ -101,7 +101,9 @@ pub fn gcf_order(catalog: &Catalog<'_>, config: GcfConfig) -> Vec<VertexId> {
                 .cmp(&p.degree(a))
                 .then_with(|| {
                     if config.cluster_tiebreak {
-                        catalog.min_incident_cluster_size(a).cmp(&catalog.min_incident_cluster_size(b))
+                        catalog
+                            .min_incident_cluster_size(a)
+                            .cmp(&catalog.min_incident_cluster_size(b))
                     } else {
                         std::cmp::Ordering::Equal
                     }
@@ -246,8 +248,7 @@ mod tests {
         let phi = order_for(&g, &p, GcfConfig::default());
         // Every vertex after the first neighbors some earlier vertex.
         for k in 1..phi.len() {
-            let has_earlier_neighbor =
-                (0..k).any(|i| p.connected(phi[i], phi[k]));
+            let has_earlier_neighbor = (0..k).any(|i| p.connected(phi[i], phi[k]));
             assert!(has_earlier_neighbor, "order is connected at position {k}");
         }
     }
@@ -285,6 +286,9 @@ mod tests {
     fn deterministic() {
         let p = star_pattern();
         let g = simple_data();
-        assert_eq!(order_for(&g, &p, GcfConfig::default()), order_for(&g, &p, GcfConfig::default()));
+        assert_eq!(
+            order_for(&g, &p, GcfConfig::default()),
+            order_for(&g, &p, GcfConfig::default())
+        );
     }
 }

@@ -62,7 +62,8 @@ fn prefer(
     if da != db {
         return da > db;
     }
-    let (ca, cb) = (min_cluster_to_placed(catalog, placed, a), min_cluster_to_placed(catalog, placed, b));
+    let (ca, cb) =
+        (min_cluster_to_placed(catalog, placed, a), min_cluster_to_placed(catalog, placed, b));
     if ca != cb {
         return ca < cb;
     }

@@ -184,18 +184,30 @@ impl Planner {
 
     /// Generate the plan for `catalog.pattern()` under `variant`.
     pub fn plan(&self, catalog: &Catalog<'_>, variant: Variant) -> Plan {
+        self.plan_recorded(catalog, variant, &csce_obs::Recorder::disabled())
+    }
+
+    /// [`Planner::plan`] with each stage timed as a span on `recorder`
+    /// (`gcf`, `dag`, `descendant`, `ldsf`, `nec`, `sce`, `tree` — the
+    /// decomposition behind Fig. 10's plan-scalability numbers).
+    pub fn plan_recorded(
+        &self,
+        catalog: &Catalog<'_>,
+        variant: Variant,
+        recorder: &csce_obs::Recorder,
+    ) -> Plan {
         let p = catalog.pattern();
         assert!(p.n() >= 1, "pattern must have vertices");
         assert!(p.is_connected(), "pattern must be connected");
 
         // Stage 1: GCF initial order (with or without cluster tie-breaks).
-        let phi = gcf_order(catalog, self.config.gcf);
+        let phi = recorder.time("gcf", || gcf_order(catalog, self.config.gcf));
         // Stage 2: dependency DAG.
-        let dag = build_dag(catalog, &phi, variant);
+        let dag = recorder.time("dag", || build_dag(catalog, &phi, variant));
         // Stage 3: LDSF fine-tuning (a specific topological order of H).
         let order = if self.config.ldsf {
-            let sizes = descendant_sizes(&dag);
-            ldsf_order(catalog, &dag, &sizes)
+            let sizes = recorder.time("descendant", || descendant_sizes(&dag));
+            recorder.time("ldsf", || ldsf_order(catalog, &dag, &sizes))
         } else {
             phi
         };
@@ -206,14 +218,14 @@ impl Planner {
 
         // NEC classes and cache-slot assignment.
         let nec_class = if self.config.nec {
-            nec_classes(p)
+            recorder.time("nec", || nec_classes(p))
         } else {
             (0..p.n() as u32).collect()
         };
         let (cache_slot, slot_count) = assign_cache_slots(&dag, &nec_class, p.n());
 
-        let sce = analyze_sce(catalog, &dag, &order);
-        let root = build_exec_tree(catalog, &dag, &order, variant);
+        let sce = recorder.time("sce", || analyze_sce(catalog, &dag, &order));
+        let root = recorder.time("tree", || build_exec_tree(catalog, &dag, &order, variant));
         let induced_filters = if variant == Variant::VertexInduced {
             (0..p.n() as VertexId)
                 .map(|u| {
@@ -253,11 +265,8 @@ fn assign_cache_slots(dag: &Dag, nec_class: &[u32], n: usize) -> (Vec<u32>, usiz
     let mut slots = vec![0u32; n];
     let mut next = 0u32;
     for u in 0..n as VertexId {
-        let key = (
-            nec_class[u as usize],
-            dag.parents(u).to_vec(),
-            dag.negation_parents(u).to_vec(),
-        );
+        let key =
+            (nec_class[u as usize], dag.parents(u).to_vec(), dag.negation_parents(u).to_vec());
         let slot = *groups.entry(key).or_insert_with(|| {
             let s = next;
             next += 1;
@@ -342,10 +351,7 @@ fn build_tree_rec(
     let components = h_components(dag, suffix);
     if components.len() > 1 && split_safe(catalog, &components, variant) {
         return ExecNode::Split {
-            components: components
-                .into_iter()
-                .map(|c| seq_of(catalog, dag, &c, variant))
-                .collect(),
+            components: components.into_iter().map(|c| seq_of(catalog, dag, &c, variant)).collect(),
         };
     }
     seq_of(catalog, dag, suffix, variant)
@@ -353,10 +359,7 @@ fn build_tree_rec(
 
 /// Sequence the first vertex, then retry decomposition on the remainder.
 fn seq_of(catalog: &Catalog<'_>, dag: &Dag, list: &[VertexId], variant: Variant) -> ExecNode {
-    ExecNode::Seq {
-        u: list[0],
-        next: Box::new(build_tree_rec(catalog, dag, &list[1..], variant)),
-    }
+    ExecNode::Seq { u: list[0], next: Box::new(build_tree_rec(catalog, dag, &list[1..], variant)) }
 }
 
 /// Connected components of `H` restricted to `suffix` (order preserved
@@ -548,7 +551,9 @@ mod tests {
         for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0, 2] {
             gb.add_vertex(l);
         }
-        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7), (2, 8), (3, 8)] {
+        for (s, d) in
+            [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7), (2, 8), (3, 8)]
+        {
             gb.add_edge(s, d, NO_LABEL).unwrap();
         }
         let g = gb.build();

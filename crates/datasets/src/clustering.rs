@@ -36,8 +36,7 @@ pub fn higher_order_graph(
     variant: Variant,
 ) -> FxHashMap<(VertexId, VertexId), u32> {
     assert!(variant.injective(), "G_P weights count subgraph instances");
-    let (restrictions, _aut) =
-        csce_graph::automorphism::stabilizer_restrictions(pattern);
+    let (restrictions, _aut) = csce_graph::automorphism::stabilizer_restrictions(pattern);
     let star = csce_ccsr::read_csr(engine.ccsr(), pattern, variant);
     let catalog = Catalog::new(pattern, &star);
     let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
@@ -80,9 +79,8 @@ pub fn label_propagation(
             for &(w, weight) in &adj[v] {
                 *tally.entry(cluster[w as usize]).or_insert(0) += weight as u64;
             }
-            if let Some((&best, _)) = tally
-                .iter()
-                .max_by(|(ca, wa), (cb, wb)| wa.cmp(wb).then(ca.cmp(cb)))
+            if let Some((&best, _)) =
+                tally.iter().max_by(|(ca, wa), (cb, wb)| wa.cmp(wb).then(ca.cmp(cb)))
             {
                 if best != cluster[v] && tally.get(&cluster[v]).copied().unwrap_or(0) < tally[&best]
                 {
@@ -190,9 +188,7 @@ pub fn sweep_cut(
     }
     // Sweep: order by ppr / weighted degree, take the minimum-conductance
     // prefix.
-    let mut ranked: Vec<VertexId> = (0..n as VertexId)
-        .filter(|&v| ppr[v as usize] > 0.0)
-        .collect();
+    let mut ranked: Vec<VertexId> = (0..n as VertexId).filter(|&v| ppr[v as usize] > 0.0).collect();
     ranked.sort_by(|&a, &b| {
         let ka = ppr[a as usize] / wdeg[a as usize].max(1) as f64;
         let kb = ppr[b as usize] / wdeg[b as usize].max(1) as f64;

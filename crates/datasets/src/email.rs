@@ -75,11 +75,6 @@ mod tests {
         let (g, truth) = email_eu();
         let r = run_case_study(&g, &truth, 4);
         assert!(r.cliques_found > 0, "4-cliques exist in departments");
-        assert!(
-            r.f1_motif >= r.f1_edge,
-            "motif F1 {:.3} vs edge F1 {:.3}",
-            r.f1_motif,
-            r.f1_edge
-        );
+        assert!(r.f1_motif >= r.f1_edge, "motif F1 {:.3} vs edge F1 {:.3}", r.f1_motif, r.f1_edge);
     }
 }

@@ -18,8 +18,7 @@ pub mod patterns;
 pub mod presets;
 
 pub use clustering::{
-    conductance, higher_order_graph, label_propagation, motif_adjacency, pairwise_f1,
-    sweep_cut,
+    conductance, higher_order_graph, label_propagation, motif_adjacency, pairwise_f1, sweep_cut,
 };
 pub use email::{email_eu, CaseStudyResult};
 pub use patterns::{sample_suite, Workload};

@@ -114,17 +114,7 @@ pub fn livejournal() -> Dataset {
 
 /// All nine presets in Table IV order.
 pub fn all_presets() -> Vec<Dataset> {
-    vec![
-        dip(),
-        yeast(),
-        human(),
-        hprd(),
-        roadca(),
-        orkut(),
-        patent(),
-        subcategory(),
-        livejournal(),
-    ]
+    vec![dip(), yeast(), human(), hprd(), roadca(), orkut(), patent(), subcategory(), livejournal()]
 }
 
 #[cfg(test)]
@@ -178,10 +168,7 @@ mod tests {
         ];
         for (ds, (name, avg)) in all_presets().iter().zip(expected) {
             let got = ds.stats().average_degree;
-            assert!(
-                (got - avg).abs() / avg < 0.25,
-                "{name}: avg degree {got:.1}, paper {avg:.1}"
-            );
+            assert!((got - avg).abs() / avg < 0.25, "{name}: avg degree {got:.1}, paper {avg:.1}");
         }
     }
 

@@ -17,11 +17,8 @@ use crate::{Label, VertexId};
 type Signature = (Label, u32, Vec<(Label, u32, u8)>);
 
 fn signature(g: &Graph, v: VertexId) -> Signature {
-    let mut nbrs: Vec<(Label, u32, u8)> = g
-        .adj(v)
-        .iter()
-        .map(|a| (g.label(a.nbr), g.degree(a.nbr), a.orient as u8))
-        .collect();
+    let mut nbrs: Vec<(Label, u32, u8)> =
+        g.adj(v).iter().map(|a| (g.label(a.nbr), g.degree(a.nbr), a.orient as u8)).collect();
     nbrs.sort_unstable();
     (g.label(v), g.degree(v), nbrs)
 }

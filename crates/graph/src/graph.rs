@@ -13,10 +13,9 @@
 
 use crate::util::FxHashMap;
 use crate::{Label, VertexId, NO_LABEL};
-use serde::{Deserialize, Serialize};
 
 /// How an incident edge relates to the vertex whose adjacency list it is in.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Orient {
     /// The edge leaves this vertex (`this → nbr`).
     Out,
@@ -40,7 +39,7 @@ impl Orient {
 
 /// One edge of the canonical edge list. Undirected edges are stored once
 /// with `src <= dst` (enforced by the builder).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Edge {
     pub src: VertexId,
     pub dst: VertexId,
@@ -49,7 +48,7 @@ pub struct Edge {
 }
 
 /// One entry of a vertex's adjacency list.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Adj {
     /// The neighbor vertex.
     pub nbr: VertexId,
@@ -60,7 +59,7 @@ pub struct Adj {
 }
 
 /// An immutable heterogeneous graph (data graph or pattern).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Graph {
     labels: Vec<Label>,
     adj: Vec<Vec<Adj>>,
@@ -120,18 +119,12 @@ impl Graph {
     /// Number of incident arcs leaving `v` (Out + Und), for Table IV's
     /// max-out-degree column.
     pub fn out_arcs(&self, v: VertexId) -> usize {
-        self.adj[v as usize]
-            .iter()
-            .filter(|a| a.orient != Orient::In)
-            .count()
+        self.adj[v as usize].iter().filter(|a| a.orient != Orient::In).count()
     }
 
     /// Number of incident arcs entering `v` (In + Und).
     pub fn in_arcs(&self, v: VertexId) -> usize {
-        self.adj[v as usize]
-            .iter()
-            .filter(|a| a.orient != Orient::Out)
-            .count()
+        self.adj[v as usize].iter().filter(|a| a.orient != Orient::Out).count()
     }
 
     /// The incident edges between `a` and `b`, seen from `a`'s side.
@@ -338,12 +331,7 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    fn check_pair(
-        &mut self,
-        a: VertexId,
-        b: VertexId,
-        kind: u8,
-    ) -> Result<(), GraphError> {
+    fn check_pair(&mut self, a: VertexId, b: VertexId, kind: u8) -> Result<(), GraphError> {
         if a == b {
             return Err(GraphError::SelfLoop(a));
         }
@@ -369,7 +357,12 @@ impl GraphBuilder {
 
     /// Add a directed edge `src → dst` with an edge label
     /// (use [`NO_LABEL`] for unlabeled edges).
-    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, label: Label) -> Result<(), GraphError> {
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: Label,
+    ) -> Result<(), GraphError> {
         let kind = if src < dst { 1 } else { 2 };
         self.check_pair(src, dst, kind)?;
         self.edges.push(Edge { src, dst, label, directed: true });
@@ -377,7 +370,12 @@ impl GraphBuilder {
     }
 
     /// Add an undirected edge `a — b` with an edge label.
-    pub fn add_undirected_edge(&mut self, a: VertexId, b: VertexId, label: Label) -> Result<(), GraphError> {
+    pub fn add_undirected_edge(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        label: Label,
+    ) -> Result<(), GraphError> {
         self.check_pair(a, b, 4)?;
         let (src, dst) = (a.min(b), a.max(b));
         self.edges.push(Edge { src, dst, label, directed: false });

@@ -235,7 +235,11 @@ pub fn read_snap<R: BufRead>(r: R, directed: bool) -> Result<Graph, IoError> {
         if a == c {
             continue;
         }
-        let _ = if directed { b.add_edge(a, c, NO_LABEL) } else { b.add_undirected_edge(a, c, NO_LABEL) };
+        let _ = if directed {
+            b.add_edge(a, c, NO_LABEL)
+        } else {
+            b.add_undirected_edge(a, c, NO_LABEL)
+        };
     }
     Ok(b.build())
 }

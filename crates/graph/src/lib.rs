@@ -77,11 +77,8 @@ impl Variant {
     }
 
     /// All variants, for exhaustive test sweeps.
-    pub const ALL: [Variant; 3] = [
-        Variant::EdgeInduced,
-        Variant::VertexInduced,
-        Variant::Homomorphic,
-    ];
+    pub const ALL: [Variant; 3] =
+        [Variant::EdgeInduced, Variant::VertexInduced, Variant::Homomorphic];
 
     /// The single-letter tag the paper uses in Table III.
     pub fn tag(self) -> &'static str {

@@ -136,10 +136,7 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> (Graph, Vec<VertexI
     let mut local: crate::FxHashMap<VertexId, VertexId> = crate::FxHashMap::default();
     let mut b = GraphBuilder::with_capacity(vertices.len(), vertices.len() * 2);
     for (i, &v) in vertices.iter().enumerate() {
-        assert!(
-            local.insert(v, i as VertexId).is_none(),
-            "duplicate vertex {v} in induced set"
-        );
+        assert!(local.insert(v, i as VertexId).is_none(), "duplicate vertex {v} in induced set");
         b.add_vertex(g.label(v));
     }
     for &v in vertices {
@@ -177,9 +174,8 @@ pub fn wl_code(g: &Graph, rounds: usize) -> Vec<u64> {
         h.finish()
     };
     // Initial colors: vertex labels.
-    let mut color: Vec<u64> = (0..n as VertexId)
-        .map(|v| hash_one(&|h: &mut FxHasher| g.label(v).hash(h)))
-        .collect();
+    let mut color: Vec<u64> =
+        (0..n as VertexId).map(|v| hash_one(&|h: &mut FxHasher| g.label(v).hash(h))).collect();
     for _ in 0..rounds.max(1) {
         let mut next = Vec::with_capacity(n);
         for v in 0..n as VertexId {
@@ -306,10 +302,8 @@ mod tests {
             // core >= k, every vertex has >= k neighbors.
             for v in 0..g.n() as VertexId {
                 let k = core[v as usize];
-                let strong_nbrs = undirected_neighbors(&g, v)
-                    .iter()
-                    .filter(|&&w| core[w as usize] >= k)
-                    .count();
+                let strong_nbrs =
+                    undirected_neighbors(&g, v).iter().filter(|&&w| core[w as usize] >= k).count();
                 assert!(
                     strong_nbrs as u32 >= k,
                     "seed {seed}: v{v} core {k} but only {strong_nbrs} strong neighbors"

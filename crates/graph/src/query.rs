@@ -61,13 +61,8 @@ pub fn to_query_string(g: &Graph) -> String {
         }
     }
     for e in g.edges() {
-        let label_part =
-            if e.label == NO_LABEL { String::new() } else { format!("[{}]", e.label) };
-        let arrow = if e.directed {
-            format!("-{label_part}->")
-        } else {
-            format!("-{label_part}-")
-        };
+        let label_part = if e.label == NO_LABEL { String::new() } else { format!("[{}]", e.label) };
+        let arrow = if e.directed { format!("-{label_part}->") } else { format!("-{label_part}-") };
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(", (v{}){}(v{})", e.src, arrow, e.dst),
@@ -125,9 +120,10 @@ impl<'a> ParserImpl<'a> {
             return self.err("expected a number");
         }
         self.pos += digits.len();
-        digits
-            .parse::<Label>()
-            .map_err(|_| ParseError { at: self.pos, message: format!("label {digits:?} out of range") })
+        digits.parse::<Label>().map_err(|_| ParseError {
+            at: self.pos,
+            message: format!("label {digits:?} out of range"),
+        })
     }
 
     fn parse_vertex(&mut self) -> Result<VertexId, ParseError> {
@@ -310,9 +306,8 @@ mod tests {
         for input in inputs {
             let g = parse_pattern(input).unwrap();
             let rendered = to_query_string(&g);
-            let back = parse_pattern(&rendered).unwrap_or_else(|e| {
-                panic!("rendered {rendered:?} failed to parse: {e}")
-            });
+            let back = parse_pattern(&rendered)
+                .unwrap_or_else(|e| panic!("rendered {rendered:?} failed to parse: {e}"));
             assert_eq!(back.labels(), g.labels(), "{input} -> {rendered}");
             assert_eq!(back.edges(), g.edges(), "{input} -> {rendered}");
         }

@@ -51,7 +51,12 @@ impl<'g> PatternSampler<'g> {
 
     /// Sample `count` patterns (each may fail independently; failures are
     /// skipped, so fewer may come back).
-    pub fn sample_many(&mut self, count: usize, size: usize, density: Density) -> Vec<SampledPattern> {
+    pub fn sample_many(
+        &mut self,
+        count: usize,
+        size: usize,
+        density: Density,
+    ) -> Vec<SampledPattern> {
         (0..count).filter_map(|_| self.sample(size, density)).collect()
     }
 
@@ -112,7 +117,8 @@ impl<'g> PatternSampler<'g> {
                             }
                             crate::graph::Orient::Und => {
                                 if (local_a as u32) < local_b {
-                                    let _ = b.add_undirected_edge(local_a as u32, local_b, adj.elabel);
+                                    let _ =
+                                        b.add_undirected_edge(local_a as u32, local_b, adj.elabel);
                                 }
                             }
                             crate::graph::Orient::In => {} // captured from the other side
@@ -129,7 +135,9 @@ impl<'g> PatternSampler<'g> {
                     match adj.orient {
                         crate::graph::Orient::Out => b.add_edge(la, lb, adj.elabel).unwrap(),
                         crate::graph::Orient::In => b.add_edge(lb, la, adj.elabel).unwrap(),
-                        crate::graph::Orient::Und => b.add_undirected_edge(la, lb, adj.elabel).unwrap(),
+                        crate::graph::Orient::Und => {
+                            b.add_undirected_edge(la, lb, adj.elabel).unwrap()
+                        }
                     }
                 }
             }

@@ -1,0 +1,202 @@
+//! Run reports: metadata + phase tree + metrics, exported as an aligned
+//! human-readable block or a JSON document.
+//!
+//! The JSON schema (also documented in the repository README):
+//!
+//! ```json
+//! {
+//!   "meta":     {"algo": "CSCE", "variant": "edge-induced", ...},
+//!   "phases":   [{"name": "load", "nanos": 12345, "calls": 1,
+//!                 "children": [...]}, ...],
+//!   "counters": {"exec.nodes": 42, ...},
+//!   "gauges":   {"exec.sce_hit_rate": 0.5, ...},
+//!   "series":   {"exec.depth_candidates": [3, 9, 27], ...}
+//! }
+//! ```
+//!
+//! Meta values are strings; counters are unsigned integers; gauges are
+//! floats; series are arrays of unsigned integers indexed by recursion
+//! depth (or another documented index).
+
+use crate::json::JsonValue;
+use crate::metrics::MetricsRegistry;
+use crate::span::{PhaseNode, PhaseTree};
+
+/// Everything measured about one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Free-form identification: algorithm, dataset, variant, ...
+    pub meta: Vec<(String, String)>,
+    pub phases: PhaseTree,
+    pub metrics: MetricsRegistry,
+}
+
+impl RunReport {
+    pub fn new() -> RunReport {
+        RunReport::default()
+    }
+
+    /// Append a metadata entry (insertion order is preserved on export).
+    pub fn meta(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// The report as a JSON document tree.
+    pub fn to_json(&self) -> JsonValue {
+        fn phase_json(node: &PhaseNode) -> JsonValue {
+            JsonValue::Object(vec![
+                ("name".into(), JsonValue::Str(node.name.clone())),
+                ("nanos".into(), JsonValue::UInt(node.nanos.min(u64::MAX as u128) as u64)),
+                ("calls".into(), JsonValue::UInt(node.calls)),
+                (
+                    "children".into(),
+                    JsonValue::Array(node.children.iter().map(phase_json).collect()),
+                ),
+            ])
+        }
+        JsonValue::Object(vec![
+            (
+                "meta".into(),
+                JsonValue::Object(
+                    self.meta.iter().map(|(k, v)| (k.clone(), JsonValue::Str(v.clone()))).collect(),
+                ),
+            ),
+            ("phases".into(), JsonValue::Array(self.phases.roots.iter().map(phase_json).collect())),
+            (
+                "counters".into(),
+                JsonValue::Object(
+                    self.metrics
+                        .counters()
+                        .map(|(k, v)| (k.to_string(), JsonValue::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                JsonValue::Object(
+                    self.metrics
+                        .gauges()
+                        .map(|(k, v)| (k.to_string(), JsonValue::Float(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "series".into(),
+                JsonValue::Object(
+                    self.metrics
+                        .all_series()
+                        .map(|(k, vs)| {
+                            (
+                                k.to_string(),
+                                JsonValue::Array(vs.iter().map(|&v| JsonValue::UInt(v)).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report as pretty-printed JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// The report as an aligned human-readable block.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.meta.is_empty() {
+            let key_w = self.meta.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.meta {
+                out.push_str(&format!("{k:<key_w$}  {v}\n"));
+            }
+            out.push('\n');
+        }
+        if !self.phases.roots.is_empty() {
+            out.push_str("phases\n");
+            for line in self.phases.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("counters\n");
+            let rows: Vec<(String, String)> = self
+                .metrics
+                .counters()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .chain(self.metrics.gauges().map(|(k, v)| (k.to_string(), format!("{v:.4}"))))
+                .chain(self.metrics.all_series().map(|(k, vs)| {
+                    let body = vs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+                    (k.to_string(), format!("[{body}]"))
+                }))
+                .collect();
+            let key_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, v) in rows {
+                out.push_str(&format!("  {k:<key_w$}  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::Recorder;
+
+    fn sample_report() -> RunReport {
+        let rec = Recorder::new();
+        {
+            let _load = rec.span("load");
+        }
+        {
+            let _plan = rec.span("plan");
+            let _gcf = rec.span("gcf");
+        }
+        let mut report = RunReport::new();
+        report.meta("algo", "CSCE").meta("variant", "edge-induced");
+        report.phases = rec.snapshot();
+        report.metrics.inc("exec.nodes", 17);
+        report.metrics.set_gauge("exec.sce_hit_rate", 0.5);
+        report.metrics.set_series("exec.depth_candidates", vec![3, 9]);
+        report
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let report = sample_report();
+        let parsed = json::parse(&report.to_json_string()).expect("valid json");
+        assert_eq!(
+            parsed.get("meta").and_then(|m| m.get("algo")).and_then(JsonValue::as_str),
+            Some("CSCE")
+        );
+        let phases = parsed.get("phases").and_then(JsonValue::as_array).expect("phases");
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1].get("name").and_then(JsonValue::as_str), Some("plan"));
+        let children = phases[1].get("children").and_then(JsonValue::as_array).expect("children");
+        assert_eq!(children[0].get("name").and_then(JsonValue::as_str), Some("gcf"));
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("exec.nodes")).and_then(JsonValue::as_u64),
+            Some(17)
+        );
+        let series = parsed
+            .get("series")
+            .and_then(|s| s.get("exec.depth_candidates"))
+            .and_then(JsonValue::as_array)
+            .expect("series");
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn text_export_mentions_everything() {
+        let text = sample_report().to_text();
+        for needle in ["algo", "CSCE", "phases", "load", "gcf", "exec.nodes", "17", "[3, 9]"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

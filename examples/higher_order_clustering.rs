@@ -21,10 +21,7 @@ fn main() {
     );
     let result = run_case_study(&g, &truth, k);
     println!("\nedge-based clustering        F1 = {:.3}", result.f1_edge);
-    println!(
-        "{}-clique higher-order        F1 = {:.3}",
-        result.clique_size, result.f1_motif
-    );
+    println!("{}-clique higher-order        F1 = {:.3}", result.clique_size, result.f1_motif);
     println!(
         "{} {}-clique instances found in {:?} (one per subgraph via ordering restrictions)",
         result.cliques_found, result.clique_size, result.clique_time

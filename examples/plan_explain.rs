@@ -21,12 +21,7 @@ fn main() {
     let mut sampler = PatternSampler::new(&ds.graph, 31);
     let sp = sampler.sample(10, Density::Sparse).expect("sample a 10-vertex pattern");
     let p = sp.pattern;
-    println!(
-        "pattern: |V|={} |E|={} labels={:?}\n",
-        p.n(),
-        p.m(),
-        p.labels()
-    );
+    println!("pattern: |V|={} |E|={} labels={:?}\n", p.n(), p.m(), p.labels());
 
     for variant in Variant::ALL {
         let plan = engine.plan(&p, variant, PlannerConfig::csce());

@@ -54,12 +54,7 @@ fn main() {
     let p = p.build();
 
     for variant in Variant::ALL {
-        let out = engine.run(
-            &p,
-            variant,
-            csce::PlannerConfig::csce(),
-            csce::RunConfig::default(),
-        );
+        let out = engine.run(&p, variant, csce::PlannerConfig::csce(), csce::RunConfig::default());
         println!(
             "{variant:>15}: {} embeddings  (read {:?}, plan {:?}, exec {:?}, \
              SCE cache hits {})",

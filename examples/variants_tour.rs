@@ -47,9 +47,6 @@ fn main() {
     println!("   data vertex;");
     println!(" * counts are ordered: vertex-induced <= edge-induced <= homomorphic:");
     let counts: Vec<u64> = Variant::ALL.iter().map(|&v| engine.count(&p, v)).collect();
-    println!(
-        "   {} (E) vs {} (V) vs {} (H)",
-        counts[0], counts[1], counts[2]
-    );
+    println!("   {} (E) vs {} (V) vs {} (H)", counts[0], counts[1], counts[2]);
     assert!(counts[1] <= counts[0] && counts[0] <= counts[2]);
 }

@@ -10,6 +10,8 @@
 //!     --plan ri|ri+c|csce  planner preset (default csce)
 //!     --time-limit SECS    abort after a budget
 //!     --threads N          parallel counting workers
+//!     --stats [text|json]  full run report (phase tree + counters) on stdout
+//!     --progress SECS      periodic heartbeat on stderr while matching
 //!     --explain            print the plan instead of executing
 //! ```
 //!
@@ -18,9 +20,12 @@
 
 use csce::engine::{Engine, PlannerConfig, RunConfig};
 use csce::graph::io;
+use csce::obs::{Recorder, RunReport};
 use csce::{Graph, Variant};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,20 +56,24 @@ fn print_usage() {
          csce stats <graph.csce|graph.ccsr>\n  \
          csce match <data.csce|data.ccsr> <pattern.csce | --query \"(a:0)-->(b:1)\">\n            \
          [--variant e|v|h] [--enumerate [N]] [--plan ri|ri+c|csce]\n            \
-         [--time-limit SECS] [--threads N] [--explain]\n  \
+         [--time-limit SECS] [--threads N] [--stats [text|json]]\n            \
+         [--progress SECS] [--explain]\n  \
          csce dot <graph.csce | --query \"...\">"
     );
 }
 
 /// Load a data graph either as text (clustered on the fly) or as a
-/// persisted `.ccsr` cluster set.
-fn load_engine(path: &str) -> Result<Engine, String> {
+/// persisted `.ccsr` cluster set, timing the work under a `load` phase.
+fn load_engine(path: &str, rec: &Recorder) -> Result<Engine, String> {
+    let _load = rec.span("load");
     if path.ends_with(".ccsr") {
-        let ccsr = csce::ccsr::persist::load(path).map_err(|e| e.to_string())?;
+        let ccsr = rec
+            .time("deserialize", || csce::ccsr::persist::load(path))
+            .map_err(|e| e.to_string())?;
         Ok(Engine::from_ccsr(ccsr))
     } else {
-        let g = io::load_csce(path).map_err(|e| e.to_string())?;
-        Ok(Engine::build(&g))
+        let g = rec.time("parse", || io::load_csce(path)).map_err(|e| e.to_string())?;
+        Ok(rec.time("cluster", || Engine::build(&g)))
     }
 }
 
@@ -78,6 +87,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--output" => output = Some(it.next().ok_or("missing -o value")?.clone()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
             other => input = Some(other.to_string()),
         }
     }
@@ -99,9 +109,12 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag {flag:?}"));
+    }
     let path = args.first().ok_or("usage: csce stats <graph>")?;
     if path.ends_with(".ccsr") {
-        let engine = load_engine(path)?;
+        let engine = load_engine(path, &Recorder::disabled())?;
         let gc = engine.ccsr();
         println!("persisted G_C over {} vertices", gc.n());
         println!("{}", csce::ccsr::CcsrStats::of(gc));
@@ -134,15 +147,24 @@ fn parse_variant(s: &str) -> Result<Variant, String> {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum StatsFormat {
+    Text,
+    Json,
+}
+
 fn cmd_match(args: &[String]) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut variant = Variant::EdgeInduced;
     let mut enumerate: Option<u64> = None;
     let mut planner = PlannerConfig::csce();
+    let mut planner_name = "csce";
     let mut time_limit = None;
     let mut explain = false;
     let mut query: Option<String> = None;
     let mut threads: usize = 1;
+    let mut stats_format: Option<StatsFormat> = None;
+    let mut progress_every: Option<Duration> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -167,12 +189,42 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
                 });
             }
             "--plan" => {
-                planner = match it.next().ok_or("missing --plan value")?.as_str() {
+                let name = it.next().ok_or("missing --plan value")?.as_str();
+                planner = match name {
                     "ri" => PlannerConfig::ri_only(),
                     "ri+c" => PlannerConfig::ri_cluster(),
                     "csce" => PlannerConfig::csce(),
                     other => return Err(format!("unknown planner {other:?}")),
                 };
+                planner_name = match name {
+                    "ri" => "ri",
+                    "ri+c" => "ri+c",
+                    _ => "csce",
+                };
+            }
+            "--stats" => {
+                stats_format = Some(match it.peek().map(|s| s.as_str()) {
+                    Some("text") => {
+                        it.next();
+                        StatsFormat::Text
+                    }
+                    Some("json") => {
+                        it.next();
+                        StatsFormat::Json
+                    }
+                    _ => StatsFormat::Text,
+                });
+            }
+            "--progress" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("missing --progress value")?
+                    .parse()
+                    .map_err(|_| "bad --progress")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--progress must be positive".into());
+                }
+                progress_every = Some(Duration::from_secs_f64(secs));
             }
             "--time-limit" => {
                 let secs: f64 = it
@@ -194,13 +246,12 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         }
         ([data, pattern], None) => (*data, load_graph(pattern)?),
         _ => {
-            return Err(
-                "usage: csce match <data> <pattern>  or  csce match <data> --query \"...\""
-                    .to_string(),
-            )
+            return Err("usage: csce match <data> <pattern>  or  csce match <data> --query \"...\""
+                .to_string())
         }
     };
-    let engine = load_engine(data)?;
+    let recorder = if stats_format.is_some() { Recorder::new() } else { Recorder::disabled() };
+    let engine = load_engine(data, &recorder)?;
     if !p.is_connected() {
         return Err("pattern must be connected".to_string());
     }
@@ -211,37 +262,151 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    let run = RunConfig { time_limit, profile: stats_format.is_some(), ..Default::default() };
     match enumerate {
-        None if threads > 1 => {
-            let t0 = std::time::Instant::now();
-            let count = engine.count_parallel(&p, variant, threads);
-            println!("{count} embeddings ({variant}) in {:?} on {threads} threads", t0.elapsed());
-        }
         None => {
-            let out = engine.run(&p, variant, planner, RunConfig { time_limit, ..Default::default() });
+            let progress = Arc::new(AtomicU64::new(0));
+            let heartbeat = progress_every
+                .map(|every| spawn_heartbeat(every, Arc::clone(&progress), time_limit));
+            let t0 = Instant::now();
+            let out = engine.run_observed(
+                &p,
+                variant,
+                planner,
+                run,
+                &recorder,
+                threads,
+                progress_every.map(|_| Arc::clone(&progress)),
+            );
+            let wall = t0.elapsed();
+            if let Some((stop, handle)) = heartbeat {
+                stop.store(true, Ordering::Relaxed);
+                let _ = handle.join();
+            }
             println!(
                 "{} embeddings ({variant}){}",
                 out.count,
                 if out.stats.timed_out { " — TIME LIMIT, partial" } else { "" }
             );
-            println!(
-                "read {:?}  plan {:?}  exec {:?}  (SCE hits {}, candidate sets {})",
+            eprintln!(
+                "[csce] read {:?}  plan {:?}  exec {:?}  |  {} nodes, SCE hit rate {:.1}%, {:.0} embeddings/s",
                 out.read_time,
                 out.plan_time,
                 out.exec_time,
-                out.stats.sce_cache_hits,
-                out.stats.candidate_computations
+                out.stats.nodes,
+                out.stats.sce_hit_rate() * 100.0,
+                out.throughput(),
             );
+            if let Some(format) = stats_format {
+                let report =
+                    match_report(data, variant, planner_name, threads, wall, &out, &recorder);
+                match format {
+                    StatsFormat::Text => print!("{}", report.to_text()),
+                    StatsFormat::Json => println!("{}", report.to_json_string()),
+                }
+            }
         }
         Some(limit) => {
+            if threads > 1 {
+                return Err("--enumerate is single-threaded; drop --threads".into());
+            }
+            if stats_format.is_some() {
+                return Err("--stats applies to counting runs; drop --enumerate".into());
+            }
             let mut printed = 0u64;
-            engine.enumerate(&p, variant, &mut |f| {
+            let stats = engine.enumerate(&p, variant, &mut |f| {
                 println!("{f:?}");
                 printed += 1;
                 printed < limit
             });
             println!("-- {printed} embeddings printed");
+            eprintln!(
+                "[csce] {} nodes, SCE hit rate {:.1}%",
+                stats.nodes,
+                stats.sce_hit_rate() * 100.0
+            );
         }
     }
     Ok(())
+}
+
+/// Start the `--progress` heartbeat: every `every`, print the live
+/// recursion-node count (and, with a time limit, the remaining budget) to
+/// stderr until the returned flag is set.
+fn spawn_heartbeat(
+    every: Duration,
+    progress: Arc<AtomicU64>,
+    time_limit: Option<Duration>,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let start = Instant::now();
+        let mut next_tick = every;
+        loop {
+            std::thread::sleep(Duration::from_millis(50).min(every));
+            if stop_flag.load(Ordering::Relaxed) {
+                return;
+            }
+            if start.elapsed() < next_tick {
+                continue;
+            }
+            next_tick += every;
+            let elapsed = start.elapsed();
+            let nodes = progress.load(Ordering::Relaxed);
+            match time_limit {
+                Some(limit) if limit > elapsed => eprintln!(
+                    "[csce] {} nodes visited, {:.1}s elapsed, {:.1}s of budget left",
+                    nodes,
+                    elapsed.as_secs_f64(),
+                    (limit - elapsed).as_secs_f64()
+                ),
+                Some(_) => eprintln!(
+                    "[csce] {} nodes visited, {:.1}s elapsed, over budget — stopping soon",
+                    nodes,
+                    elapsed.as_secs_f64()
+                ),
+                None => eprintln!(
+                    "[csce] {} nodes visited, {:.1}s elapsed",
+                    nodes,
+                    elapsed.as_secs_f64()
+                ),
+            }
+        }
+    });
+    (stop, handle)
+}
+
+/// Assemble the `--stats` run report: identification, the recorder's
+/// phase tree, and every counter the run produced.
+fn match_report(
+    data: &str,
+    variant: Variant,
+    planner_name: &str,
+    threads: usize,
+    wall: Duration,
+    out: &csce::QueryOutput,
+    recorder: &Recorder,
+) -> RunReport {
+    let mut report = RunReport::new();
+    report
+        .meta("algo", "CSCE")
+        .meta("data", data)
+        .meta("variant", variant)
+        .meta("plan", planner_name)
+        .meta("threads", threads)
+        .meta("count", out.count)
+        .meta("timed_out", out.stats.timed_out);
+    report.phases = recorder.snapshot();
+    out.stats.export(&mut report.metrics);
+    report.metrics.set_counter("read.clusters_read", out.read_stats.clusters_read);
+    report.metrics.set_counter("read.rows_decompressed", out.read_stats.rows_decompressed);
+    report.metrics.set_counter("read.missing_clusters", out.read_stats.missing_clusters);
+    report.metrics.set_counter("read.bytes", out.read_bytes as u64);
+    report.metrics.set_gauge("time.read_seconds", out.read_time.as_secs_f64());
+    report.metrics.set_gauge("time.plan_seconds", out.plan_time.as_secs_f64());
+    report.metrics.set_gauge("time.exec_seconds", out.exec_time.as_secs_f64());
+    report.metrics.set_gauge("time.wall_seconds", wall.as_secs_f64());
+    report.metrics.set_gauge("exec.embeddings_per_second", out.throughput());
+    report
 }

@@ -18,7 +18,9 @@
 //! * [`baselines`] — RI, failing-set backtracking, Graphflow-style WCOJ,
 //!   VF-style induced matching and GraphPi-style symmetry breaking;
 //! * [`datasets`] — deterministic stand-ins for the paper's data graphs
-//!   and the EMAIL-EU case study.
+//!   and the EMAIL-EU case study;
+//! * [`obs`] — zero-dependency observability: phase-timed spans, the
+//!   metrics registry, run reports and the built-in JSON codec.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -27,6 +29,7 @@ pub use csce_ccsr as ccsr;
 pub use csce_core as engine;
 pub use csce_datasets as datasets;
 pub use csce_graph as graph;
+pub use csce_obs as obs;
 
 pub use csce_core::{Engine, PlannerConfig, QueryOutput, RunConfig};
 pub use csce_graph::{Graph, GraphBuilder, Variant, VertexId, NO_LABEL};

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/case_study-1e27764f21fed703.d: crates/bench/src/bin/case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcase_study-1e27764f21fed703.rmeta: crates/bench/src/bin/case_study.rs Cargo.toml
+
+crates/bench/src/bin/case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

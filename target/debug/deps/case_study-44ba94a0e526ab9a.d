@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-44ba94a0e526ab9a.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/debug/deps/case_study-44ba94a0e526ab9a: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

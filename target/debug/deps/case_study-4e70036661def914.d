@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-4e70036661def914.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/debug/deps/case_study-4e70036661def914: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

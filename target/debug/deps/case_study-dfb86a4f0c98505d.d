@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_study-dfb86a4f0c98505d.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/debug/deps/case_study-dfb86a4f0c98505d: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ccsr_build-4949d6823f9cfaab.d: crates/bench/benches/ccsr_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libccsr_build-4949d6823f9cfaab.rmeta: crates/bench/benches/ccsr_build.rs Cargo.toml
+
+crates/bench/benches/ccsr_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

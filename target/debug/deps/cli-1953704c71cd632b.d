@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-1953704c71cd632b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-1953704c71cd632b: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_csce=/root/repo/target/debug/csce

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-6791d2d4cf4ac061.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-6791d2d4cf4ac061.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_csce=placeholder:csce
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

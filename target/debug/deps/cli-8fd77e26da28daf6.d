@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-8fd77e26da28daf6.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-8fd77e26da28daf6: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_csce=/root/repo/target/debug/csce

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_form-2696bf6c4a5c3c18.d: tests/closed_form.rs
+
+/root/repo/target/debug/deps/closed_form-2696bf6c4a5c3c18: tests/closed_form.rs
+
+tests/closed_form.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/closed_form-8e0f738bfe5a5e7d.d: tests/closed_form.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclosed_form-8e0f738bfe5a5e7d.rmeta: tests/closed_form.rs Cargo.toml
+
+tests/closed_form.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_form-f8ca523bded058e9.d: tests/closed_form.rs
+
+/root/repo/target/debug/deps/closed_form-f8ca523bded058e9: tests/closed_form.rs
+
+tests/closed_form.rs:

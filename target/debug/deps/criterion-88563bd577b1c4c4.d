@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-88563bd577b1c4c4.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-88563bd577b1c4c4: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

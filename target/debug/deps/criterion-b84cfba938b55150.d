@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b84cfba938b55150.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b84cfba938b55150.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b84cfba938b55150.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-167cb320d93a7575.d: src/lib.rs
+
+/root/repo/target/debug/deps/csce-167cb320d93a7575: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csce-1d99f0ec79d0ff11.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce-1d99f0ec79d0ff11.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

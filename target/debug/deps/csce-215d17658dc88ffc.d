@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csce-215d17658dc88ffc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcsce-215d17658dc88ffc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcsce-215d17658dc88ffc.rmeta: src/lib.rs
+
+src/lib.rs:

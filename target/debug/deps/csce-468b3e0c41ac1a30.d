@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csce-468b3e0c41ac1a30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce-468b3e0c41ac1a30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-6074e0a17d72a5c8.d: src/bin/csce.rs
+
+/root/repo/target/debug/deps/csce-6074e0a17d72a5c8: src/bin/csce.rs
+
+src/bin/csce.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csce-b987c816981ad562.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcsce-b987c816981ad562.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcsce-b987c816981ad562.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-bafb2fcaba003944.d: src/lib.rs
+
+/root/repo/target/debug/deps/csce-bafb2fcaba003944: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csce-be167c7222023354.d: src/bin/csce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce-be167c7222023354.rmeta: src/bin/csce.rs Cargo.toml
+
+src/bin/csce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

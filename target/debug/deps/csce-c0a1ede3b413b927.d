@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-c0a1ede3b413b927.d: src/bin/csce.rs
+
+/root/repo/target/debug/deps/csce-c0a1ede3b413b927: src/bin/csce.rs
+
+src/bin/csce.rs:

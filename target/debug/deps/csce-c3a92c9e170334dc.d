@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-c3a92c9e170334dc.d: src/bin/csce.rs
+
+/root/repo/target/debug/deps/csce-c3a92c9e170334dc: src/bin/csce.rs
+
+src/bin/csce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csce-e811c72c0bbe71ef.d: src/bin/csce.rs
+
+/root/repo/target/debug/deps/csce-e811c72c0bbe71ef: src/bin/csce.rs
+
+src/bin/csce.rs:

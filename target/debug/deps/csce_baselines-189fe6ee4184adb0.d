@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csce_baselines-189fe6ee4184adb0.d: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_baselines-189fe6ee4184adb0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cfl.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fsp.rs:
+crates/baselines/src/ri.rs:
+crates/baselines/src/symmetry.rs:
+crates/baselines/src/vf.rs:
+crates/baselines/src/wcoj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csce_baselines-26d03b1449cf15d0.d: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+/root/repo/target/debug/deps/csce_baselines-26d03b1449cf15d0: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cfl.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fsp.rs:
+crates/baselines/src/ri.rs:
+crates/baselines/src/symmetry.rs:
+crates/baselines/src/vf.rs:
+crates/baselines/src/wcoj.rs:

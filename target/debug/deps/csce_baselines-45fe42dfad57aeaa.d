@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csce_baselines-45fe42dfad57aeaa.d: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+/root/repo/target/debug/deps/libcsce_baselines-45fe42dfad57aeaa.rlib: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+/root/repo/target/debug/deps/libcsce_baselines-45fe42dfad57aeaa.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cfl.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fsp.rs:
+crates/baselines/src/ri.rs:
+crates/baselines/src/symmetry.rs:
+crates/baselines/src/vf.rs:
+crates/baselines/src/wcoj.rs:

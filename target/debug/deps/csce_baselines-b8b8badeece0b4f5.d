@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csce_baselines-b8b8badeece0b4f5.d: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_baselines-b8b8badeece0b4f5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cfl.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fsp.rs:
+crates/baselines/src/ri.rs:
+crates/baselines/src/symmetry.rs:
+crates/baselines/src/vf.rs:
+crates/baselines/src/wcoj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

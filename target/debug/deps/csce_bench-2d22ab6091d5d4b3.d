@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csce_bench-2d22ab6091d5d4b3.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_bench-2d22ab6091d5d4b3.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

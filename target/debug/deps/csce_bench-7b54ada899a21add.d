@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csce_bench-7b54ada899a21add.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/csce_bench-7b54ada899a21add: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csce_bench-8eef3f5ab0325ef3.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libcsce_bench-8eef3f5ab0325ef3.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libcsce_bench-8eef3f5ab0325ef3.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/csce_bench-9f8ce4716bf8c33b.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/csce_bench-9f8ce4716bf8c33b: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/csce_ccsr-09b584e4cf4e19a1.d: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+/root/repo/target/debug/deps/libcsce_ccsr-09b584e4cf4e19a1.rlib: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+/root/repo/target/debug/deps/libcsce_ccsr-09b584e4cf4e19a1.rmeta: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+crates/ccsr/src/lib.rs:
+crates/ccsr/src/build.rs:
+crates/ccsr/src/cluster.rs:
+crates/ccsr/src/compress.rs:
+crates/ccsr/src/csr.rs:
+crates/ccsr/src/key.rs:
+crates/ccsr/src/persist.rs:
+crates/ccsr/src/read.rs:
+crates/ccsr/src/stats.rs:

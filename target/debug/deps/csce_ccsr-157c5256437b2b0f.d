@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/csce_ccsr-157c5256437b2b0f.d: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_ccsr-157c5256437b2b0f.rmeta: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs Cargo.toml
+
+crates/ccsr/src/lib.rs:
+crates/ccsr/src/build.rs:
+crates/ccsr/src/cluster.rs:
+crates/ccsr/src/compress.rs:
+crates/ccsr/src/csr.rs:
+crates/ccsr/src/key.rs:
+crates/ccsr/src/persist.rs:
+crates/ccsr/src/read.rs:
+crates/ccsr/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

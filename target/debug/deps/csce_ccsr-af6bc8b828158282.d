@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csce_ccsr-af6bc8b828158282.d: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+/root/repo/target/debug/deps/csce_ccsr-af6bc8b828158282: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+crates/ccsr/src/lib.rs:
+crates/ccsr/src/build.rs:
+crates/ccsr/src/cluster.rs:
+crates/ccsr/src/compress.rs:
+crates/ccsr/src/csr.rs:
+crates/ccsr/src/key.rs:
+crates/ccsr/src/persist.rs:
+crates/ccsr/src/read.rs:
+crates/ccsr/src/stats.rs:

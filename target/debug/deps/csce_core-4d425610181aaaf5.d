@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/csce_core-4d425610181aaaf5.d: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+/root/repo/target/debug/deps/libcsce_core-4d425610181aaaf5.rlib: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+/root/repo/target/debug/deps/libcsce_core-4d425610181aaaf5.rmeta: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bitset.rs:
+crates/core/src/catalog.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/stats.rs:
+crates/core/src/plan/mod.rs:
+crates/core/src/plan/dag.rs:
+crates/core/src/plan/descendant.rs:
+crates/core/src/plan/explain.rs:
+crates/core/src/plan/gcf.rs:
+crates/core/src/plan/ldsf.rs:
+crates/core/src/plan/nec.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/csce_core-a4c547c0f339d707.d: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_core-a4c547c0f339d707.rmeta: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bitset.rs:
+crates/core/src/catalog.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/stats.rs:
+crates/core/src/plan/mod.rs:
+crates/core/src/plan/dag.rs:
+crates/core/src/plan/descendant.rs:
+crates/core/src/plan/explain.rs:
+crates/core/src/plan/gcf.rs:
+crates/core/src/plan/ldsf.rs:
+crates/core/src/plan/nec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csce_core-afbf1d1ae5d28b19.d: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+/root/repo/target/debug/deps/csce_core-afbf1d1ae5d28b19: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bitset.rs:
+crates/core/src/catalog.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/stats.rs:
+crates/core/src/plan/mod.rs:
+crates/core/src/plan/dag.rs:
+crates/core/src/plan/descendant.rs:
+crates/core/src/plan/explain.rs:
+crates/core/src/plan/gcf.rs:
+crates/core/src/plan/ldsf.rs:
+crates/core/src/plan/nec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csce_datasets-1c2dc9ee1cc1f094.d: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/csce_datasets-1c2dc9ee1cc1f094: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/clustering.rs:
+crates/datasets/src/email.rs:
+crates/datasets/src/motifs.rs:
+crates/datasets/src/patterns.rs:
+crates/datasets/src/presets.rs:

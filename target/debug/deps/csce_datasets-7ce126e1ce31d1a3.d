@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csce_datasets-7ce126e1ce31d1a3.d: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/libcsce_datasets-7ce126e1ce31d1a3.rlib: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/libcsce_datasets-7ce126e1ce31d1a3.rmeta: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/clustering.rs:
+crates/datasets/src/email.rs:
+crates/datasets/src/motifs.rs:
+crates/datasets/src/patterns.rs:
+crates/datasets/src/presets.rs:

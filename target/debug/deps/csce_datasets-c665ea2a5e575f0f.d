@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csce_datasets-c665ea2a5e575f0f.d: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/libcsce_datasets-c665ea2a5e575f0f.rlib: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/libcsce_datasets-c665ea2a5e575f0f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/clustering.rs:
+crates/datasets/src/email.rs:
+crates/datasets/src/motifs.rs:
+crates/datasets/src/patterns.rs:
+crates/datasets/src/presets.rs:

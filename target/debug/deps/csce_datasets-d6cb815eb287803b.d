@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csce_datasets-d6cb815eb287803b.d: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/debug/deps/csce_datasets-d6cb815eb287803b: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/clustering.rs:
+crates/datasets/src/email.rs:
+crates/datasets/src/motifs.rs:
+crates/datasets/src/patterns.rs:
+crates/datasets/src/presets.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/csce_graph-2ca19c5b7d54cb02.d: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsce_graph-2ca19c5b7d54cb02.rmeta: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/export.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/oracle.rs:
+crates/graph/src/pattern.rs:
+crates/graph/src/query.rs:
+crates/graph/src/sample.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/util/mod.rs:
+crates/graph/src/util/fxhash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

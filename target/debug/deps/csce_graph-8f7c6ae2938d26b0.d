@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/csce_graph-8f7c6ae2938d26b0.d: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+/root/repo/target/debug/deps/csce_graph-8f7c6ae2938d26b0: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/export.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/oracle.rs:
+crates/graph/src/pattern.rs:
+crates/graph/src/query.rs:
+crates/graph/src/sample.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/util/mod.rs:
+crates/graph/src/util/fxhash.rs:

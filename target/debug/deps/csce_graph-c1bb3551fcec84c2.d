@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/csce_graph-c1bb3551fcec84c2.d: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+/root/repo/target/debug/deps/libcsce_graph-c1bb3551fcec84c2.rlib: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+/root/repo/target/debug/deps/libcsce_graph-c1bb3551fcec84c2.rmeta: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/export.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/oracle.rs:
+crates/graph/src/pattern.rs:
+crates/graph/src/query.rs:
+crates/graph/src/sample.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/util/mod.rs:
+crates/graph/src/util/fxhash.rs:

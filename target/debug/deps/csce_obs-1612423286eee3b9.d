@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csce_obs-1612423286eee3b9.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/csce_obs-1612423286eee3b9: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

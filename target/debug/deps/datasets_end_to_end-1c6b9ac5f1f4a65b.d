@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets_end_to_end-1c6b9ac5f1f4a65b.d: tests/datasets_end_to_end.rs
+
+/root/repo/target/debug/deps/datasets_end_to_end-1c6b9ac5f1f4a65b: tests/datasets_end_to_end.rs
+
+tests/datasets_end_to_end.rs:

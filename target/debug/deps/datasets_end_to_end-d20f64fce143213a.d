@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datasets_end_to_end-d20f64fce143213a.d: tests/datasets_end_to_end.rs
+
+/root/repo/target/debug/deps/datasets_end_to_end-d20f64fce143213a: tests/datasets_end_to_end.rs
+
+tests/datasets_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datasets_end_to_end-d514c70254beaf9a.d: tests/datasets_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets_end_to_end-d514c70254beaf9a.rmeta: tests/datasets_end_to_end.rs Cargo.toml
+
+tests/datasets_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_baselines-1268139507450222.d: tests/engine_vs_baselines.rs
+
+/root/repo/target/debug/deps/engine_vs_baselines-1268139507450222: tests/engine_vs_baselines.rs
+
+tests/engine_vs_baselines.rs:

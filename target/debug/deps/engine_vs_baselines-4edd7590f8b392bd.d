@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_baselines-4edd7590f8b392bd.d: tests/engine_vs_baselines.rs
+
+/root/repo/target/debug/deps/engine_vs_baselines-4edd7590f8b392bd: tests/engine_vs_baselines.rs
+
+tests/engine_vs_baselines.rs:

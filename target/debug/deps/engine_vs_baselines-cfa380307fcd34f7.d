@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_vs_baselines-cfa380307fcd34f7.d: tests/engine_vs_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_vs_baselines-cfa380307fcd34f7.rmeta: tests/engine_vs_baselines.rs Cargo.toml
+
+tests/engine_vs_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_vs_oracle-2c1a5813a9ff8535.d: tests/engine_vs_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_vs_oracle-2c1a5813a9ff8535.rmeta: tests/engine_vs_oracle.rs Cargo.toml
+
+tests/engine_vs_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

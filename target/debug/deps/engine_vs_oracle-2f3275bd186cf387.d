@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_oracle-2f3275bd186cf387.d: tests/engine_vs_oracle.rs
+
+/root/repo/target/debug/deps/engine_vs_oracle-2f3275bd186cf387: tests/engine_vs_oracle.rs
+
+tests/engine_vs_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_oracle-9292122cd57f9bcf.d: tests/engine_vs_oracle.rs
+
+/root/repo/target/debug/deps/engine_vs_oracle-9292122cd57f9bcf: tests/engine_vs_oracle.rs
+
+tests/engine_vs_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-1b89d3181202d961.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-1b89d3181202d961: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4f43ee33bd8e4af9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-4f43ee33bd8e4af9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

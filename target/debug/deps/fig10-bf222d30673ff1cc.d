@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-bf222d30673ff1cc.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-bf222d30673ff1cc: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

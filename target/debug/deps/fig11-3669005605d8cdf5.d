@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-3669005605d8cdf5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-3669005605d8cdf5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-ea6099a1339787c5.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-ea6099a1339787c5: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-325c85a01cb0f6e5.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-325c85a01cb0f6e5.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-3f3f0cb90bb3bb75.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-3f3f0cb90bb3bb75: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

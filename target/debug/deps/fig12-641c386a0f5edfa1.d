@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-641c386a0f5edfa1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-641c386a0f5edfa1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

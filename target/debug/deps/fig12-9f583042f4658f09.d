@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-9f583042f4658f09.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-9f583042f4658f09: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-fd30ec81858c8237.d: crates/bench/src/bin/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-fd30ec81858c8237.rmeta: crates/bench/src/bin/fig12.rs Cargo.toml
+
+crates/bench/src/bin/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-2be00fb64dc9fb92.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-2be00fb64dc9fb92: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

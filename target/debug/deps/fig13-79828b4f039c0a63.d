@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-79828b4f039c0a63.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-79828b4f039c0a63: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

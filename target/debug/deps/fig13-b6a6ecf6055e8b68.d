@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-b6a6ecf6055e8b68.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-b6a6ecf6055e8b68: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-1fa7ec1ffd9ac1ae.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-1fa7ec1ffd9ac1ae: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-44b1ae0b8cce9ebe.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-44b1ae0b8cce9ebe: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

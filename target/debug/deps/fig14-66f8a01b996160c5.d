@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-66f8a01b996160c5.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-66f8a01b996160c5: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

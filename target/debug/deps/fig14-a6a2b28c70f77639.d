@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-a6a2b28c70f77639.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-a6a2b28c70f77639.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

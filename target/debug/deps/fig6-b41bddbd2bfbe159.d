@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b41bddbd2bfbe159.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b41bddbd2bfbe159: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

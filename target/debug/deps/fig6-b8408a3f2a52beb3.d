@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b8408a3f2a52beb3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b8408a3f2a52beb3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

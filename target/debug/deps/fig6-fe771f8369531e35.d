@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-fe771f8369531e35.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-fe771f8369531e35: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-266a055d6a39110b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-266a055d6a39110b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3170871a45b7a36f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3170871a45b7a36f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

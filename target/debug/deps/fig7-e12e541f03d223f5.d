@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e12e541f03d223f5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e12e541f03d223f5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

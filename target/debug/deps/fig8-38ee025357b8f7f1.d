@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-38ee025357b8f7f1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-38ee025357b8f7f1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

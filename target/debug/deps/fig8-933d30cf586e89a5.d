@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-933d30cf586e89a5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-933d30cf586e89a5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

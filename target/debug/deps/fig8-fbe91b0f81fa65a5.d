@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fbe91b0f81fa65a5.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fbe91b0f81fa65a5: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-98ba6a1de2fa07e4.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-98ba6a1de2fa07e4: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

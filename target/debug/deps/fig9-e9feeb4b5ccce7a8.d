@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e9feeb4b5ccce7a8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e9feeb4b5ccce7a8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intersection-0988b4f3e971836a.d: crates/bench/benches/intersection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintersection-0988b4f3e971836a.rmeta: crates/bench/benches/intersection.rs Cargo.toml
+
+crates/bench/benches/intersection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching-9dbeb6c9cc76c915.d: crates/bench/benches/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching-9dbeb6c9cc76c915.rmeta: crates/bench/benches/matching.rs Cargo.toml
+
+crates/bench/benches/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planning-1e9832eae7bd8e44.d: crates/bench/benches/planning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanning-1e9832eae7bd8e44.rmeta: crates/bench/benches/planning.rs Cargo.toml
+
+crates/bench/benches/planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3039ce5f20d949fc.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3039ce5f20d949fc: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ece6687f5a2ebc6a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ece6687f5a2ebc6a: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/read_csr-ae90a3dd04ed4d05.d: crates/bench/benches/read_csr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libread_csr-ae90a3dd04ed4d05.rmeta: crates/bench/benches/read_csr.rs Cargo.toml
+
+crates/bench/benches/read_csr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

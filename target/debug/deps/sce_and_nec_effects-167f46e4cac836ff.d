@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sce_and_nec_effects-167f46e4cac836ff.d: tests/sce_and_nec_effects.rs
+
+/root/repo/target/debug/deps/sce_and_nec_effects-167f46e4cac836ff: tests/sce_and_nec_effects.rs
+
+tests/sce_and_nec_effects.rs:

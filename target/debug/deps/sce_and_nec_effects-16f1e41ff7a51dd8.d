@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sce_and_nec_effects-16f1e41ff7a51dd8.d: tests/sce_and_nec_effects.rs
+
+/root/repo/target/debug/deps/sce_and_nec_effects-16f1e41ff7a51dd8: tests/sce_and_nec_effects.rs
+
+tests/sce_and_nec_effects.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sce_and_nec_effects-2b8d7079300dcde0.d: tests/sce_and_nec_effects.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsce_and_nec_effects-2b8d7079300dcde0.rmeta: tests/sce_and_nec_effects.rs Cargo.toml
+
+tests/sce_and_nec_effects.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_invariants-956611428079da49.d: tests/stats_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_invariants-956611428079da49.rmeta: tests/stats_invariants.rs Cargo.toml
+
+tests/stats_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_invariants-e5ca24708544635f.d: tests/stats_invariants.rs
+
+/root/repo/target/debug/deps/stats_invariants-e5ca24708544635f: tests/stats_invariants.rs
+
+tests/stats_invariants.rs:

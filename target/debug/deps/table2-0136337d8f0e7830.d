@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0136337d8f0e7830.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0136337d8f0e7830: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-bd1d90a826127fda.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-bd1d90a826127fda: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ddf37f1105a8beb7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ddf37f1105a8beb7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-46efd86f3f8fae7b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-46efd86f3f8fae7b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a4eba8386ed66872.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a4eba8386ed66872: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

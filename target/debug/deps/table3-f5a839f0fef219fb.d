@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-f5a839f0fef219fb.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-f5a839f0fef219fb: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-4847e3c25a4996c9.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-4847e3c25a4996c9: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f7f5f3d208ef6532.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f7f5f3d208ef6532: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_limits-a5faccb9393b29db.d: tests/time_limits.rs
+
+/root/repo/target/debug/deps/time_limits-a5faccb9393b29db: tests/time_limits.rs
+
+tests/time_limits.rs:

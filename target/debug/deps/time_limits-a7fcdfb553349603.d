@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_limits-a7fcdfb553349603.d: tests/time_limits.rs
+
+/root/repo/target/debug/deps/time_limits-a7fcdfb553349603: tests/time_limits.rs
+
+tests/time_limits.rs:

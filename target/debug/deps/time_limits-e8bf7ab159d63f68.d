@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/time_limits-e8bf7ab159d63f68.d: tests/time_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtime_limits-e8bf7ab159d63f68.rmeta: tests/time_limits.rs Cargo.toml
+
+tests/time_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/higher_order_clustering-3c25a1ab392dd151.d: examples/higher_order_clustering.rs
+
+/root/repo/target/debug/examples/higher_order_clustering-3c25a1ab392dd151: examples/higher_order_clustering.rs
+
+examples/higher_order_clustering.rs:

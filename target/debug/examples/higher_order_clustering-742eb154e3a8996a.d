@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/higher_order_clustering-742eb154e3a8996a.d: examples/higher_order_clustering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhigher_order_clustering-742eb154e3a8996a.rmeta: examples/higher_order_clustering.rs Cargo.toml
+
+examples/higher_order_clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

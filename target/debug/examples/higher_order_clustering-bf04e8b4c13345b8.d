@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/higher_order_clustering-bf04e8b4c13345b8.d: examples/higher_order_clustering.rs
+
+/root/repo/target/debug/examples/higher_order_clustering-bf04e8b4c13345b8: examples/higher_order_clustering.rs
+
+examples/higher_order_clustering.rs:

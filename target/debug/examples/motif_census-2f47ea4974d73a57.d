@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/motif_census-2f47ea4974d73a57.d: examples/motif_census.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmotif_census-2f47ea4974d73a57.rmeta: examples/motif_census.rs Cargo.toml
+
+examples/motif_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

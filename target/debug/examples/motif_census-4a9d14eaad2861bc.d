@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_census-4a9d14eaad2861bc.d: examples/motif_census.rs
+
+/root/repo/target/debug/examples/motif_census-4a9d14eaad2861bc: examples/motif_census.rs
+
+examples/motif_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/motif_census-7e0565a3b3c7ec13.d: examples/motif_census.rs
+
+/root/repo/target/debug/examples/motif_census-7e0565a3b3c7ec13: examples/motif_census.rs
+
+examples/motif_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_explain-32e57a5a79e0ec3d.d: examples/plan_explain.rs
+
+/root/repo/target/debug/examples/plan_explain-32e57a5a79e0ec3d: examples/plan_explain.rs
+
+examples/plan_explain.rs:

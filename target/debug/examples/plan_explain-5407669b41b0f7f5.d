@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/plan_explain-5407669b41b0f7f5.d: examples/plan_explain.rs
+
+/root/repo/target/debug/examples/plan_explain-5407669b41b0f7f5: examples/plan_explain.rs
+
+examples/plan_explain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/plan_explain-db9f63e63d0dbe61.d: examples/plan_explain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplan_explain-db9f63e63d0dbe61.rmeta: examples/plan_explain.rs Cargo.toml
+
+examples/plan_explain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_complexes-26976182f450885c.d: examples/protein_complexes.rs
+
+/root/repo/target/debug/examples/protein_complexes-26976182f450885c: examples/protein_complexes.rs
+
+examples/protein_complexes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_complexes-d82eec74750bdce7.d: examples/protein_complexes.rs
+
+/root/repo/target/debug/examples/protein_complexes-d82eec74750bdce7: examples/protein_complexes.rs
+
+examples/protein_complexes.rs:

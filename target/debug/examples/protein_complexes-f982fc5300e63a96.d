@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protein_complexes-f982fc5300e63a96.d: examples/protein_complexes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotein_complexes-f982fc5300e63a96.rmeta: examples/protein_complexes.rs Cargo.toml
+
+examples/protein_complexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28ce7ba07d548f29.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-28ce7ba07d548f29: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-86b3f832b0d571b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-86b3f832b0d571b7: examples/quickstart.rs
+
+examples/quickstart.rs:

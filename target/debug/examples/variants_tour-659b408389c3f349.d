@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variants_tour-659b408389c3f349.d: examples/variants_tour.rs
+
+/root/repo/target/debug/examples/variants_tour-659b408389c3f349: examples/variants_tour.rs
+
+examples/variants_tour.rs:

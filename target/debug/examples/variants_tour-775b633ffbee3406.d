@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variants_tour-775b633ffbee3406.d: examples/variants_tour.rs
+
+/root/repo/target/debug/examples/variants_tour-775b633ffbee3406: examples/variants_tour.rs
+
+examples/variants_tour.rs:

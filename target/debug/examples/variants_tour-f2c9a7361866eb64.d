@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/variants_tour-f2c9a7361866eb64.d: examples/variants_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvariants_tour-f2c9a7361866eb64.rmeta: examples/variants_tour.rs Cargo.toml
+
+examples/variants_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

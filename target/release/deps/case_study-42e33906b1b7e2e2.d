@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study-42e33906b1b7e2e2.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/release/deps/case_study-42e33906b1b7e2e2: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

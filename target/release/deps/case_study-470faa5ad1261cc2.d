@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study-470faa5ad1261cc2.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/release/deps/case_study-470faa5ad1261cc2: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

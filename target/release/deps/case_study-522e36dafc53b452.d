@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_study-522e36dafc53b452.d: crates/bench/src/bin/case_study.rs
+
+/root/repo/target/release/deps/case_study-522e36dafc53b452: crates/bench/src/bin/case_study.rs
+
+crates/bench/src/bin/case_study.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-53bff72ba5ea4017.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-53bff72ba5ea4017.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-53bff72ba5ea4017.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

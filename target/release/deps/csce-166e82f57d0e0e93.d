@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csce-166e82f57d0e0e93.d: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-166e82f57d0e0e93.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-166e82f57d0e0e93.rmeta: src/lib.rs
+
+src/lib.rs:

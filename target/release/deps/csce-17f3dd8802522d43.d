@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csce-17f3dd8802522d43.d: src/bin/csce.rs
+
+/root/repo/target/release/deps/csce-17f3dd8802522d43: src/bin/csce.rs
+
+src/bin/csce.rs:

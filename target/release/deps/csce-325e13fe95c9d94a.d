@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csce-325e13fe95c9d94a.d: src/bin/csce.rs
+
+/root/repo/target/release/deps/csce-325e13fe95c9d94a: src/bin/csce.rs
+
+src/bin/csce.rs:

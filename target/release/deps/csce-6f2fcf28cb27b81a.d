@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csce-6f2fcf28cb27b81a.d: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-6f2fcf28cb27b81a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-6f2fcf28cb27b81a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csce-ec14729de8ecc3a4.d: src/bin/csce.rs
+
+/root/repo/target/release/deps/csce-ec14729de8ecc3a4: src/bin/csce.rs
+
+src/bin/csce.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csce-eec4eef6bc64aa16.d: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-eec4eef6bc64aa16.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcsce-eec4eef6bc64aa16.rmeta: src/lib.rs
+
+src/lib.rs:

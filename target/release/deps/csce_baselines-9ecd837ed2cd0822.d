@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/csce_baselines-9ecd837ed2cd0822.d: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+/root/repo/target/release/deps/libcsce_baselines-9ecd837ed2cd0822.rlib: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+/root/repo/target/release/deps/libcsce_baselines-9ecd837ed2cd0822.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cfl.rs crates/baselines/src/common.rs crates/baselines/src/fsp.rs crates/baselines/src/ri.rs crates/baselines/src/symmetry.rs crates/baselines/src/vf.rs crates/baselines/src/wcoj.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cfl.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/fsp.rs:
+crates/baselines/src/ri.rs:
+crates/baselines/src/symmetry.rs:
+crates/baselines/src/vf.rs:
+crates/baselines/src/wcoj.rs:

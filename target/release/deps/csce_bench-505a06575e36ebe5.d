@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/csce_bench-505a06575e36ebe5.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcsce_bench-505a06575e36ebe5.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcsce_bench-505a06575e36ebe5.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

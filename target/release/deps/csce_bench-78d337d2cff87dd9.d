@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/csce_bench-78d337d2cff87dd9.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcsce_bench-78d337d2cff87dd9.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libcsce_bench-78d337d2cff87dd9.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/csce_ccsr-5613600ac900ecbf.d: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+/root/repo/target/release/deps/libcsce_ccsr-5613600ac900ecbf.rlib: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+/root/repo/target/release/deps/libcsce_ccsr-5613600ac900ecbf.rmeta: crates/ccsr/src/lib.rs crates/ccsr/src/build.rs crates/ccsr/src/cluster.rs crates/ccsr/src/compress.rs crates/ccsr/src/csr.rs crates/ccsr/src/key.rs crates/ccsr/src/persist.rs crates/ccsr/src/read.rs crates/ccsr/src/stats.rs
+
+crates/ccsr/src/lib.rs:
+crates/ccsr/src/build.rs:
+crates/ccsr/src/cluster.rs:
+crates/ccsr/src/compress.rs:
+crates/ccsr/src/csr.rs:
+crates/ccsr/src/key.rs:
+crates/ccsr/src/persist.rs:
+crates/ccsr/src/read.rs:
+crates/ccsr/src/stats.rs:

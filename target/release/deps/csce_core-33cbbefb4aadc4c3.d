@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/csce_core-33cbbefb4aadc4c3.d: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+/root/repo/target/release/deps/libcsce_core-33cbbefb4aadc4c3.rlib: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+/root/repo/target/release/deps/libcsce_core-33cbbefb4aadc4c3.rmeta: crates/core/src/lib.rs crates/core/src/bitset.rs crates/core/src/catalog.rs crates/core/src/exec/mod.rs crates/core/src/exec/stats.rs crates/core/src/plan/mod.rs crates/core/src/plan/dag.rs crates/core/src/plan/descendant.rs crates/core/src/plan/explain.rs crates/core/src/plan/gcf.rs crates/core/src/plan/ldsf.rs crates/core/src/plan/nec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bitset.rs:
+crates/core/src/catalog.rs:
+crates/core/src/exec/mod.rs:
+crates/core/src/exec/stats.rs:
+crates/core/src/plan/mod.rs:
+crates/core/src/plan/dag.rs:
+crates/core/src/plan/descendant.rs:
+crates/core/src/plan/explain.rs:
+crates/core/src/plan/gcf.rs:
+crates/core/src/plan/ldsf.rs:
+crates/core/src/plan/nec.rs:

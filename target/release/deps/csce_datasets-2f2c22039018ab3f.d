@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/csce_datasets-2f2c22039018ab3f.d: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/release/deps/libcsce_datasets-2f2c22039018ab3f.rlib: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+/root/repo/target/release/deps/libcsce_datasets-2f2c22039018ab3f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/clustering.rs crates/datasets/src/email.rs crates/datasets/src/motifs.rs crates/datasets/src/patterns.rs crates/datasets/src/presets.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/clustering.rs:
+crates/datasets/src/email.rs:
+crates/datasets/src/motifs.rs:
+crates/datasets/src/patterns.rs:
+crates/datasets/src/presets.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/csce_graph-fb3316b61b6b66b7.d: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+/root/repo/target/release/deps/libcsce_graph-fb3316b61b6b66b7.rlib: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+/root/repo/target/release/deps/libcsce_graph-fb3316b61b6b66b7.rmeta: crates/graph/src/lib.rs crates/graph/src/automorphism.rs crates/graph/src/export.rs crates/graph/src/generate.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/oracle.rs crates/graph/src/pattern.rs crates/graph/src/query.rs crates/graph/src/sample.rs crates/graph/src/stats.rs crates/graph/src/util/mod.rs crates/graph/src/util/fxhash.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/export.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/oracle.rs:
+crates/graph/src/pattern.rs:
+crates/graph/src/query.rs:
+crates/graph/src/sample.rs:
+crates/graph/src/stats.rs:
+crates/graph/src/util/mod.rs:
+crates/graph/src/util/fxhash.rs:

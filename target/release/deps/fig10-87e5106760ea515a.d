@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-87e5106760ea515a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-87e5106760ea515a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

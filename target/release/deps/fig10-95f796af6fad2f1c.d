@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-95f796af6fad2f1c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-95f796af6fad2f1c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-d6a68d70e3b14a6a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-d6a68d70e3b14a6a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

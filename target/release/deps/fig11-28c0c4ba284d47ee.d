@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-28c0c4ba284d47ee.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-28c0c4ba284d47ee: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

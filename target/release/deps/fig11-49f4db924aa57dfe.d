@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-49f4db924aa57dfe.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-49f4db924aa57dfe: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-a6146fcef6311059.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-a6146fcef6311059: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-0a6c9e579eecc55f.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-0a6c9e579eecc55f: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

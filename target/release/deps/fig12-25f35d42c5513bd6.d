@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-25f35d42c5513bd6.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-25f35d42c5513bd6: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-c9405b5e60995d8b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-c9405b5e60995d8b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

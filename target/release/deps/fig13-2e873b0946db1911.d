@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-2e873b0946db1911.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-2e873b0946db1911: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

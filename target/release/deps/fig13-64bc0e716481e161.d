@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-64bc0e716481e161.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-64bc0e716481e161: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

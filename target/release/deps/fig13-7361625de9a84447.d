@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-7361625de9a84447.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-7361625de9a84447: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

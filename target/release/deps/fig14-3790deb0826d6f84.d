@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-3790deb0826d6f84.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-3790deb0826d6f84: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

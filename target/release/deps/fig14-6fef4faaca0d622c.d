@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-6fef4faaca0d622c.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-6fef4faaca0d622c: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

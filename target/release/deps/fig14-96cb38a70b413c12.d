@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-96cb38a70b413c12.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-96cb38a70b413c12: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

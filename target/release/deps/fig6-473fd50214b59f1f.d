@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-473fd50214b59f1f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-473fd50214b59f1f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-709718cabcee80cb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-709718cabcee80cb: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

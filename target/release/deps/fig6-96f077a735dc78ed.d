@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-96f077a735dc78ed.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-96f077a735dc78ed: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

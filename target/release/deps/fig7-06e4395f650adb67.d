@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-06e4395f650adb67.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-06e4395f650adb67: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-2cc31a8c8090e7ca.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-2cc31a8c8090e7ca: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-c1c567e333235ab7.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-c1c567e333235ab7: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

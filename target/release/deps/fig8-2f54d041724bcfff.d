@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-2f54d041724bcfff.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-2f54d041724bcfff: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

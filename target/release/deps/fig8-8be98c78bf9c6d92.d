@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-8be98c78bf9c6d92.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-8be98c78bf9c6d92: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

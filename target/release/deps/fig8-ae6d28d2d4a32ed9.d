@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ae6d28d2d4a32ed9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ae6d28d2d4a32ed9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-9f8d5a5af034b5a0.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-9f8d5a5af034b5a0: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-d654470eef912b79.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-d654470eef912b79: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-fff87e5230f50472.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-fff87e5230f50472: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

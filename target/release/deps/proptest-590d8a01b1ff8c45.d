@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-590d8a01b1ff8c45.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-590d8a01b1ff8c45.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-590d8a01b1ff8c45.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

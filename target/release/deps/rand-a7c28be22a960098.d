@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a7c28be22a960098.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a7c28be22a960098.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a7c28be22a960098.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

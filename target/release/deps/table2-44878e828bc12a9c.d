@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-44878e828bc12a9c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-44878e828bc12a9c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

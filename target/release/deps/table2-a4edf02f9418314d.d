@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-a4edf02f9418314d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-a4edf02f9418314d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

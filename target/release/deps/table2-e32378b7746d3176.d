@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e32378b7746d3176.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e32378b7746d3176: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-4a9bc747571f2769.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-4a9bc747571f2769: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

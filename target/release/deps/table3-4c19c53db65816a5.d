@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-4c19c53db65816a5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-4c19c53db65816a5: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-cf50ebe6145b1402.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-cf50ebe6145b1402: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

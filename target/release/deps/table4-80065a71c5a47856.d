@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-80065a71c5a47856.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-80065a71c5a47856: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-909e5a2a3093a18b.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-909e5a2a3093a18b: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

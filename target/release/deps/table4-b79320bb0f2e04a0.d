@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-b79320bb0f2e04a0.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-b79320bb0f2e04a0: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

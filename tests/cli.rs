@@ -63,13 +63,7 @@ fn enumerate_and_explain() {
     let pattern = write(&dir, "pattern2.csce", PATTERN);
 
     let out = bin()
-        .args([
-            "match",
-            data.to_str().unwrap(),
-            pattern.to_str().unwrap(),
-            "--enumerate",
-            "2",
-        ])
+        .args(["match", data.to_str().unwrap(), pattern.to_str().unwrap(), "--enumerate", "2"])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -98,11 +92,7 @@ fn variant_flag_changes_results() {
     let dir = workdir();
     let data = write(&dir, "data3.csce", DATA);
     // A 2-path pattern whose homomorphic count exceeds edge-induced.
-    let pattern = write(
-        &dir,
-        "wedge.csce",
-        "t 3 2\nv 0 0\nv 1 1\nv 2 0\ne 0 1 - d\ne 2 1 - d\n",
-    );
+    let pattern = write(&dir, "wedge.csce", "t 3 2\nv 0 0\nv 1 1\nv 2 0\ne 0 1 - d\ne 2 1 - d\n");
     let count_for = |variant: &str| -> u64 {
         let out = bin()
             .args([
@@ -156,10 +146,8 @@ fn dot_rendering() {
 fn query_flag_matches_inline_patterns() {
     let dir = workdir();
     let data = write(&dir, "data5.csce", DATA);
-    let out = bin()
-        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)"])
-        .output()
-        .unwrap();
+    let out =
+        bin().args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("6 embeddings"));
     // Parallel counting path.
@@ -169,6 +157,79 @@ fn query_flag_matches_inline_patterns() {
         .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("6 embeddings"));
+}
+
+#[test]
+fn stats_json_is_valid_and_complete() {
+    use csce::obs::JsonValue;
+    let dir = workdir();
+    let data = write(&dir, "data6.csce", DATA);
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)", "--stats", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The count line comes first; everything from the first '{' is the report.
+    let json_start = stdout.find('{').expect("report follows the count line");
+    let report = csce::obs::parse_json(&stdout[json_start..]).expect("valid JSON report");
+
+    let meta = report.get("meta").expect("meta object");
+    assert_eq!(meta.get("algo").and_then(JsonValue::as_str), Some("CSCE"));
+    assert_eq!(meta.get("count").and_then(JsonValue::as_str), Some("6"));
+    assert_eq!(meta.get("timed_out").and_then(JsonValue::as_str), Some("false"));
+
+    // The phase tree covers the full pipeline: load → plan → execute,
+    // with clustering under load and the planner stages under plan.
+    let phases = report.get("phases").and_then(JsonValue::as_array).expect("phases");
+    let phase = |name: &str| {
+        phases
+            .iter()
+            .find(|p| p.get("name").and_then(JsonValue::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("missing phase {name}"))
+    };
+    let load = phase("load");
+    let children = load.get("children").and_then(JsonValue::as_array).expect("load children");
+    assert!(
+        children.iter().any(|c| c.get("name").and_then(JsonValue::as_str) == Some("cluster")),
+        "clustering recorded under load"
+    );
+    assert!(load.get("nanos").and_then(JsonValue::as_u64).is_some());
+    let plan = phase("plan");
+    let stages = plan.get("children").and_then(JsonValue::as_array).expect("plan children");
+    for stage in ["gcf", "dag", "ldsf", "nec", "sce"] {
+        assert!(
+            stages.iter().any(|c| c.get("name").and_then(JsonValue::as_str) == Some(stage)),
+            "missing plan stage {stage}"
+        );
+    }
+    phase("execute");
+
+    // The counter registry carries the executor and CCSR-side counters.
+    let counters = report.get("counters").expect("counters object");
+    assert_eq!(counters.get("exec.embeddings").and_then(JsonValue::as_u64), Some(6));
+    for key in ["exec.nodes", "exec.candidates_scanned", "read.clusters_read"] {
+        assert!(counters.get(key).and_then(JsonValue::as_u64).is_some(), "missing counter {key}");
+    }
+    let gauges = report.get("gauges").expect("gauges object");
+    assert!(gauges.get("exec.sce_hit_rate").and_then(JsonValue::as_f64).is_some());
+
+    // Text mode renders the same report human-readably.
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)", "--stats", "text"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exec.embeddings"), "{text}");
+
+    // Unknown flags are rejected instead of silently ignored.
+    let out = bin()
+        .args(["match", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)", "--bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
 }
 
 #[test]

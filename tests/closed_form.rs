@@ -5,7 +5,7 @@
 //! cross-engine tests cannot.
 
 use csce::engine::Engine;
-use csce::graph::{GraphBuilder, Graph};
+use csce::graph::{Graph, GraphBuilder};
 use csce::{Variant, NO_LABEL};
 
 fn clique(n: usize) -> Graph {
@@ -144,7 +144,8 @@ fn stars_in_stars_and_bipartite_graphs() {
     // 2 * a(a-1) * b(b-1) (start side choice folded into mapping count:
     // total injective hom of C4 = 2*a(a-1)*b(b-1)... verify against the
     // oracle instead of trusting the derivation.
-    let oracle = csce::graph::oracle_count(&complete_bipartite(a, b), &cycle(4), Variant::EdgeInduced);
+    let oracle =
+        csce::graph::oracle_count(&complete_bipartite(a, b), &cycle(4), Variant::EdgeInduced);
     assert_eq!(engine.count(&cycle(4), Variant::EdgeInduced), oracle);
     assert_eq!(oracle, 2 * (a * (a - 1) * b * (b - 1)) as u64);
 }

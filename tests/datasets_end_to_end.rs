@@ -3,7 +3,7 @@
 //! synthetic data graph, plus the parallel counting extension.
 
 use csce::datasets::{presets, sample_suite};
-use csce::engine::Engine;
+use csce::engine::{Engine, RunConfig};
 use csce::graph::Density;
 use csce::Variant;
 
@@ -52,8 +52,10 @@ fn parallel_count_on_dataset() {
     for suite in &suites {
         for p in &suite.patterns {
             let sequential = engine.count(p, Variant::EdgeInduced);
-            let parallel = engine.count_parallel(p, Variant::EdgeInduced, 4);
-            assert_eq!(sequential, parallel);
+            let parallel = engine.count_parallel(p, Variant::EdgeInduced, 4, RunConfig::default());
+            assert_eq!(sequential, parallel.count);
+            assert_eq!(parallel.stats.embeddings, parallel.count);
+            assert!(!parallel.stats.timed_out);
         }
     }
 }

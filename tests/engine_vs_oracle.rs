@@ -99,10 +99,7 @@ fn antiparallel_arcs_and_induced_semantics() {
     // Edge-induced: all three arcs match; vertex-induced: only 2->3.
     assert_eq!(engine.count(&p, Variant::EdgeInduced), 3);
     assert_eq!(engine.count(&p, Variant::VertexInduced), 1);
-    assert_eq!(
-        engine.embeddings(&p, Variant::VertexInduced),
-        vec![vec![2, 3]]
-    );
+    assert_eq!(engine.embeddings(&p, Variant::VertexInduced), vec![vec![2, 3]]);
     // A pattern WITH the antiparallel pair only matches the 0<->1 pair.
     let mut pb = GraphBuilder::new();
     pb.add_unlabeled_vertices(2);
@@ -151,11 +148,7 @@ fn every_runtime_toggle_is_exact() {
     for variant in Variant::ALL {
         let expected = csce::graph::oracle_count(&g, &sp.pattern, variant);
         for (cache, factorize) in [(true, true), (true, false), (false, true), (false, false)] {
-            let run = RunConfig {
-                use_sce_cache: cache,
-                factorize,
-                ..RunConfig::default()
-            };
+            let run = RunConfig { use_sce_cache: cache, factorize, ..RunConfig::default() };
             let out = engine.run(&sp.pattern, variant, PlannerConfig::csce(), run);
             assert_eq!(out.count, expected, "cache={cache} factorize={factorize} {variant}");
         }

@@ -2,13 +2,18 @@
 //! engine invariants.
 
 use csce::ccsr::{build_ccsr, persist, read_csr, CompressedCsr, Csr};
-use csce::engine::{Engine, PlannerConfig, Planner, RunConfig, Catalog};
+use csce::engine::{Catalog, Engine, Planner, PlannerConfig, RunConfig};
 use csce::graph::oracle::oracle_count;
 use csce::graph::{Graph, GraphBuilder, Variant, NO_LABEL};
 use proptest::prelude::*;
 
 /// Strategy: a random small heterogeneous graph.
-fn arb_graph(max_n: usize, max_m: usize, labels: u32, directed: bool) -> impl Strategy<Value = Graph> {
+fn arb_graph(
+    max_n: usize,
+    max_m: usize,
+    labels: u32,
+    directed: bool,
+) -> impl Strategy<Value = Graph> {
     (2..=max_n, proptest::collection::vec((0u32..100, 0u32..100, 0u32..labels.max(1)), 0..max_m))
         .prop_map(move |(n, raw_edges)| {
             let mut b = GraphBuilder::new();

@@ -31,7 +31,12 @@ fn star(k: usize) -> Graph {
     b.build()
 }
 
-fn run(engine: &Engine, p: &Graph, planner: PlannerConfig, run: RunConfig) -> (u64, csce::engine::ExecStats) {
+fn run(
+    engine: &Engine,
+    p: &Graph,
+    planner: PlannerConfig,
+    run: RunConfig,
+) -> (u64, csce::engine::ExecStats) {
     let out = engine.run(p, Variant::Homomorphic, planner, run);
     (out.count, out.stats)
 }
@@ -44,12 +49,8 @@ fn nec_sharing_reduces_candidate_computations() {
     // Sequential mode so the leaf-by-leaf structure is visible.
     let seq = RunConfig { factorize: false, ..Default::default() };
     let (count_nec, stats_nec) = run(&engine, &p, PlannerConfig::csce(), seq);
-    let (count_plain, stats_plain) = run(
-        &engine,
-        &p,
-        PlannerConfig { nec: false, ..PlannerConfig::csce() },
-        seq,
-    );
+    let (count_plain, stats_plain) =
+        run(&engine, &p, PlannerConfig { nec: false, ..PlannerConfig::csce() }, seq);
     assert_eq!(count_nec, count_plain);
     assert!(
         stats_nec.candidate_computations < stats_plain.candidate_computations,
@@ -66,8 +67,12 @@ fn factorization_collapses_star_counting_work() {
     let engine = Engine::build(&g);
     let p = star(5);
     let (with, stats_with) = run(&engine, &p, PlannerConfig::csce(), RunConfig::default());
-    let (without, stats_without) =
-        run(&engine, &p, PlannerConfig::csce(), RunConfig { factorize: false, ..Default::default() });
+    let (without, stats_without) = run(
+        &engine,
+        &p,
+        PlannerConfig::csce(),
+        RunConfig { factorize: false, ..Default::default() },
+    );
     assert_eq!(with, without);
     // 2 centers * 12^5 leaf walks.
     assert_eq!(with, 2 * 12u64.pow(5));

@@ -62,16 +62,36 @@ fn engine_stops_on_zero_budget_in_both_modes() {
     let p = long_path(9);
     let engine = Engine::build(&g);
     for factorize in [true, false] {
-        let run = RunConfig {
-            time_limit: Some(Duration::ZERO),
-            factorize,
-            ..Default::default()
-        };
+        let run = RunConfig { time_limit: Some(Duration::ZERO), factorize, ..Default::default() };
         let start = Instant::now();
         let out = engine.run(&p, Variant::EdgeInduced, PlannerConfig::csce(), run);
         assert!(out.stats.timed_out, "factorize={factorize}");
         assert!(start.elapsed() < Duration::from_secs(5));
     }
+}
+
+#[test]
+fn parallel_counting_propagates_timeouts() {
+    let g = clique(13);
+    let p = long_path(9);
+    let engine = Engine::build(&g);
+    for threads in [1usize, 4] {
+        let run = RunConfig { time_limit: Some(Duration::ZERO), ..Default::default() };
+        let start = Instant::now();
+        let out = engine.count_parallel(&p, Variant::EdgeInduced, threads, run);
+        assert!(out.stats.timed_out, "{threads} threads: merged stats must flag the timeout");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+    // A generous budget through the same path stays exact and un-flagged.
+    let small = clique(6);
+    let engine = Engine::build(&small);
+    let p = long_path(4);
+    let exact = engine.count(&p, Variant::EdgeInduced);
+    let run = RunConfig { time_limit: Some(Duration::from_secs(60)), ..Default::default() };
+    let out = engine.count_parallel(&p, Variant::EdgeInduced, 4, run);
+    assert!(!out.stats.timed_out);
+    assert_eq!(out.count, exact);
+    assert_eq!(out.stats.embeddings, exact);
 }
 
 #[test]

@@ -1,0 +1,242 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate supplies
+//! the API subset the workspace's `benches/` use — `Criterion`,
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `BatchSize`, and
+//! the `criterion_group!` / `criterion_main!` macros — implemented as a
+//! plain wall-clock sampler: per benchmark it warms up, auto-calibrates an
+//! iteration count so each sample runs ≥ ~2 ms, takes `sample_size`
+//! samples, and prints min / median / max per iteration. No statistical
+//! regression analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls. The stand-in
+/// re-runs setup for every routine call regardless (i.e. everything
+/// behaves like `PerIteration`), which keeps results correct if slower.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size }
+    }
+
+    /// Benchmark `routine`, timing batches of auto-calibrated size.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: grow the batch until it costs ≥ ~2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Calibrate on wall time of the routine alone.
+        while timed < Duration::from_millis(2) && iters < 1 << 20 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t0.elapsed();
+            iters += 1;
+        }
+        let per_sample = iters.max(1);
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                std::hint::black_box(routine(input));
+                sample += t0.elapsed();
+            }
+            self.samples.push(sample);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> =
+            self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_time(per_iter[0]),
+            fmt_time(median),
+            fmt_time(*per_iter.last().expect("non-empty")),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    /// Borrow the driver for the group's lifetime, as upstream does.
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (upstream default: 100; the
+    /// stand-in defaults lower to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver; collects groups and prints results to stdout.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1u32; 16], |v| v.iter().sum::<u32>(), BatchSize::LargeInput);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with(" s"));
+    }
+}
