@@ -1,0 +1,113 @@
+//! Workspace lint driver: scans library sources, applies the `csce-lint`
+//! rules, and ratchets against the checked-in allowlist.
+//!
+//! ```text
+//! csce-lint [--root DIR] [--allowlist FILE] [--update-allowlist]
+//! ```
+//!
+//! Exit status 0 when every file is at or under its recorded ceiling and
+//! no ceiling is stale; 1 on lint failure; 2 on usage or I/O errors.
+
+use csce_analyze::lint::{collect_sources, lint_source, Allowlist, LintViolation, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    allowlist: PathBuf,
+    update: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut update = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(it.next().ok_or("--root needs a directory")?),
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(it.next().ok_or("--allowlist needs a file")?));
+            }
+            "--update-allowlist" => update = true,
+            "--help" | "-h" => {
+                return Err("usage: csce-lint [--root DIR] [--allowlist FILE] [--update-allowlist]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("scripts/lint-allowlist.txt"));
+    Ok(Args { root, allowlist, update })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let sources = collect_sources(&args.root)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+    if sources.is_empty() {
+        return Err(format!("no library sources found under {}", args.root.display()));
+    }
+    let mut violations: Vec<LintViolation> = Vec::new();
+    for rel in &sources {
+        let full = args.root.join(rel);
+        let src = std::fs::read_to_string(&full)
+            .map_err(|e| format!("reading {}: {e}", full.display()))?;
+        violations.extend(lint_source(rel, &src));
+    }
+    let mut per_rule = [0usize; RULES.len()];
+    for v in &violations {
+        if let Some(k) = RULES.iter().position(|&r| r == v.rule) {
+            per_rule[k] += 1;
+        }
+    }
+    let summary: Vec<String> =
+        RULES.iter().zip(per_rule).map(|(r, c)| format!("{r}: {c}")).collect();
+    eprintln!(
+        "csce-lint: {} files, {} hits ({})",
+        sources.len(),
+        violations.len(),
+        summary.join(", ")
+    );
+
+    if args.update {
+        let text = Allowlist::from_violations(&violations).to_text();
+        std::fs::write(&args.allowlist, text)
+            .map_err(|e| format!("writing {}: {e}", args.allowlist.display()))?;
+        eprintln!("csce-lint: wrote {}", args.allowlist.display());
+        return Ok(true);
+    }
+
+    let allowlist = match std::fs::read_to_string(&args.allowlist) {
+        Ok(text) => {
+            Allowlist::parse(&text).map_err(|e| format!("{}: {e}", args.allowlist.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(format!("reading {}: {e}", args.allowlist.display())),
+    };
+    let failures = allowlist.check(&violations);
+    for f in &failures {
+        eprintln!("csce-lint: FAIL {f}");
+    }
+    if failures.is_empty() {
+        eprintln!("csce-lint: OK (debt ceiling respected)");
+    }
+    Ok(failures.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("csce-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("csce-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Deep structural validation of [`csce_ccsr::Ccsr`] — the paper's `G_C`.
+//!
+//! Algorithm 1 and the §IV space analysis rest on structural promises the
+//! production code never re-checks after construction: every cluster's
+//! run-length-encoded row index starts at zero, strictly increases, covers
+//! exactly `n + 1` offsets and closes over its neighbor array; cluster
+//! keys agree with the vertex labels of every arc they index; directed
+//! clusters carry an incoming CSR that is the exact transpose of the
+//! outgoing one; undirected clusters store each edge from both endpoints.
+//! This module re-derives all of it from the raw arrays, plus the
+//! persist→load fixpoint that guards the binary format.
+
+use crate::{Validate, ValidationReport};
+use csce_ccsr::{persist, Ccsr, ClusterKey, CompressedCsr};
+use csce_graph::{FxHashMap, Label, VertexId};
+
+impl Validate for Ccsr {
+    fn validate(&self) -> ValidationReport {
+        let mut r = ValidationReport::new(format!(
+            "ccsr ({} vertices, {} clusters)",
+            self.n(),
+            self.cluster_count()
+        ));
+        check_label_arrays(self, &mut r);
+        for c in self.clusters() {
+            check_cluster(self, c, &mut r);
+        }
+        check_negation_index(self, &mut r);
+        check_persist_fixpoint(self, &mut r);
+        r
+    }
+}
+
+/// Validate a serialized `G_C` byte stream: decode errors are reported as
+/// violations instead of bubbling up, then the decoded structure gets the
+/// full deep check. This is what `csce validate ccsr` runs on a file.
+pub fn validate_ccsr_bytes(bytes: &[u8], subject: impl Into<String>) -> ValidationReport {
+    let mut r = ValidationReport::new(subject);
+    r.ran("ccsr.decode");
+    match persist::from_bytes(bytes) {
+        Ok(ccsr) => r.merge(ccsr.validate()),
+        Err(e) => r.violation("ccsr.decode", format!("persisted G_C rejected: {e}")),
+    }
+    r
+}
+
+/// Vertex-label array sized to `n` and the label-frequency index agreeing
+/// with a recount.
+fn check_label_arrays(gc: &Ccsr, r: &mut ValidationReport) {
+    r.ran("ccsr.label-array");
+    r.ran("ccsr.label-frequency");
+    if gc.vertex_labels().len() != gc.n() {
+        r.violation(
+            "ccsr.label-array",
+            format!("{} vertex labels for {} vertices", gc.vertex_labels().len(), gc.n()),
+        );
+    }
+    let mut freq: FxHashMap<Label, u32> = FxHashMap::default();
+    for &l in gc.vertex_labels() {
+        *freq.entry(l).or_insert(0) += 1;
+    }
+    if &freq != gc.label_frequency() {
+        r.violation(
+            "ccsr.label-frequency",
+            format!(
+                "label frequency index has {} entries, recount has {}",
+                gc.label_frequency().len(),
+                freq.len()
+            ),
+        );
+    }
+}
+
+fn check_cluster(gc: &Ccsr, c: &csce_ccsr::Cluster, r: &mut ValidationReport) {
+    r.ran("ccsr.key-canonical");
+    r.ran("ccsr.key-direction");
+    let key = c.key;
+    if !key.directed && key.src_label > key.dst_label {
+        r.violation(
+            "ccsr.key-canonical",
+            format!("undirected cluster {key} has non-canonical label order"),
+        );
+    }
+    if key.directed != c.inc.is_some() {
+        r.violation(
+            "ccsr.key-direction",
+            format!(
+                "cluster {key}: directed={} but incoming CSR is {}",
+                key.directed,
+                if c.inc.is_some() { "present" } else { "absent" }
+            ),
+        );
+    }
+    check_rle(gc, &key, "out", &c.out, r);
+    if let Some(inc) = &c.inc {
+        check_rle(gc, &key, "inc", inc, r);
+    }
+    check_arc_labels(gc, c, r);
+    if key.directed {
+        check_transpose(c, r);
+    } else {
+        check_undirected_symmetry(c, r);
+    }
+}
+
+/// Algorithm 1's RLE invariants for one compressed row index, re-derived
+/// from the raw runs: first offset zero, strictly increasing values,
+/// non-zero repeat counts, exact `n + 1` coverage, closure over `I_C`,
+/// in-range neighbors, sorted strictly-increasing rows, and the
+/// decompress→recompress fixpoint (maximal runs).
+fn check_rle(
+    gc: &Ccsr,
+    key: &ClusterKey,
+    side: &str,
+    csr: &CompressedCsr,
+    r: &mut ValidationReport,
+) {
+    r.ran("ccsr.rle-monotone");
+    r.ran("ccsr.rle-coverage");
+    r.ran("ccsr.rle-closure");
+    r.ran("ccsr.neighbor-range");
+    r.ran("ccsr.rows-sorted");
+    r.ran("ccsr.recompress-fixpoint");
+    let runs = csr.runs();
+    let who = format!("cluster {key} ({side})");
+    if runs.is_empty() || runs[0].0 != 0 {
+        r.violation("ccsr.rle-monotone", format!("{who}: row index does not start at offset 0"));
+        return;
+    }
+    let mut prev = None::<u32>;
+    let mut coverage = 0u64;
+    for &(value, count) in runs {
+        if count == 0 {
+            r.violation("ccsr.rle-monotone", format!("{who}: zero-length run at offset {value}"));
+        }
+        if prev.is_some_and(|p| value <= p) {
+            r.violation(
+                "ccsr.rle-monotone",
+                format!("{who}: run value {value} does not increase past {}", prev.unwrap_or(0)),
+            );
+        }
+        prev = Some(value);
+        coverage += count as u64;
+    }
+    if coverage != gc.n() as u64 + 1 {
+        r.violation(
+            "ccsr.rle-coverage",
+            format!("{who}: runs cover {coverage} offsets, expected n + 1 = {}", gc.n() + 1),
+        );
+    }
+    let closing = runs.last().map_or(0, |&(v, _)| v) as usize;
+    if closing != csr.neighbors().len() {
+        r.violation(
+            "ccsr.rle-closure",
+            format!(
+                "{who}: final offset {closing} does not close over {} neighbors",
+                csr.neighbors().len()
+            ),
+        );
+        return;
+    }
+    let n = gc.n() as VertexId;
+    for &w in csr.neighbors() {
+        if w >= n {
+            r.violation("ccsr.neighbor-range", format!("{who}: neighbor {w} outside 0..{n}"));
+        }
+    }
+    let decoded = csr.decompress();
+    for v in 0..decoded.row_count() as VertexId {
+        if decoded.row(v).windows(2).any(|w| w[0] >= w[1]) {
+            r.violation("ccsr.rows-sorted", format!("{who}: row {v} is not strictly increasing"));
+        }
+    }
+    if &CompressedCsr::compress(&decoded) != csr {
+        r.violation(
+            "ccsr.recompress-fixpoint",
+            format!("{who}: decompress→recompress changes the representation (non-maximal runs)"),
+        );
+    }
+}
+
+/// Cluster-key ↔ vertex-label agreement (§IV: a cluster key *is* the edge
+/// isomorphism class): every indexed arc's endpoint labels must match the
+/// key, per side for directed clusters and as an unordered pair for
+/// undirected ones.
+fn check_arc_labels(gc: &Ccsr, c: &csce_ccsr::Cluster, r: &mut ValidationReport) {
+    r.ran("ccsr.key-label-agreement");
+    if gc.vertex_labels().len() != gc.n() {
+        return; // label array unusable; reported by check_label_arrays
+    }
+    let key = c.key;
+    let d = c.decode();
+    let n = gc.n() as VertexId;
+    for v in 0..n {
+        for &w in d.out_neighbors(v) {
+            if w >= n {
+                continue; // reported by check_rle
+            }
+            let (lv, lw) = (gc.vertex_label(v), gc.vertex_label(w));
+            let ok = if key.directed {
+                lv == key.src_label && lw == key.dst_label
+            } else {
+                (lv.min(lw), lv.max(lw)) == (key.src_label, key.dst_label)
+            };
+            if !ok {
+                r.violation(
+                    "ccsr.key-label-agreement",
+                    format!(
+                        "cluster {key}: arc {v} -> {w} carries labels ({lv}, {lw}) foreign to the key"
+                    ),
+                );
+            }
+        }
+    }
+    if key.directed {
+        if let Some(inc) = &c.inc {
+            let inc = inc.decompress();
+            for v in 0..n {
+                for &w in inc.row(v) {
+                    if w >= n {
+                        continue;
+                    }
+                    let (lv, lw) = (gc.vertex_label(v), gc.vertex_label(w));
+                    if lv != key.dst_label || lw != key.src_label {
+                        r.violation(
+                            "ccsr.key-label-agreement",
+                            format!(
+                                "cluster {key}: incoming arc {v} <- {w} carries labels ({lw}, {lv}) foreign to the key"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// For directed clusters the incoming CSR must index exactly the reversed
+/// arcs of the outgoing CSR.
+fn check_transpose(c: &csce_ccsr::Cluster, r: &mut ValidationReport) {
+    r.ran("ccsr.inc-transpose");
+    let Some(inc) = &c.inc else { return }; // absence reported by key-direction
+    let out = c.out.decompress();
+    let inc = inc.decompress();
+    let mut fwd: Vec<(VertexId, VertexId)> = Vec::with_capacity(out.arc_count());
+    for v in 0..out.row_count() as VertexId {
+        fwd.extend(out.row(v).iter().map(|&w| (v, w)));
+    }
+    let mut bwd: Vec<(VertexId, VertexId)> = Vec::with_capacity(inc.arc_count());
+    for v in 0..inc.row_count() as VertexId {
+        bwd.extend(inc.row(v).iter().map(|&w| (w, v)));
+    }
+    fwd.sort_unstable();
+    bwd.sort_unstable();
+    if fwd != bwd {
+        r.violation(
+            "ccsr.inc-transpose",
+            format!(
+                "cluster {}: incoming CSR is not the transpose of the outgoing CSR ({} vs {} arcs)",
+                c.key,
+                fwd.len(),
+                bwd.len()
+            ),
+        );
+    }
+}
+
+/// Undirected clusters store each edge from both endpoints, so the single
+/// CSR must be symmetric (and hold an even number of arcs).
+fn check_undirected_symmetry(c: &csce_ccsr::Cluster, r: &mut ValidationReport) {
+    r.ran("ccsr.undirected-symmetry");
+    let out = c.out.decompress();
+    if !out.arc_count().is_multiple_of(2) {
+        r.violation(
+            "ccsr.undirected-symmetry",
+            format!(
+                "cluster {}: odd arc count {} in an undirected cluster",
+                c.key,
+                out.arc_count()
+            ),
+        );
+    }
+    for v in 0..out.row_count() as VertexId {
+        for &w in out.row(v) {
+            if (w as usize) < out.row_count() && !out.contains(w, v) {
+                r.violation(
+                    "ccsr.undirected-symmetry",
+                    format!("cluster {}: arc {v} — {w} is missing its mirror arc", c.key),
+                );
+            }
+        }
+    }
+}
+
+/// The `(u_x, u_y)*`-clusters index (Algorithms 1–2): for every label pair
+/// seen on a cluster key, `negation_keys` must return exactly the matching
+/// keys, sorted.
+fn check_negation_index(gc: &Ccsr, r: &mut ValidationReport) {
+    r.ran("ccsr.negation-index");
+    let mut expected: FxHashMap<(Label, Label), Vec<ClusterKey>> = FxHashMap::default();
+    for c in gc.clusters() {
+        expected.entry(c.key.label_pair()).or_default().push(c.key);
+    }
+    for (pair, mut keys) in expected {
+        keys.sort_unstable();
+        let got = gc.negation_keys(pair.0, pair.1);
+        if got != keys.as_slice() {
+            r.violation(
+                "ccsr.negation-index",
+                format!(
+                    "label pair ({}, {}): index lists {} keys, clusters imply {}",
+                    pair.0,
+                    pair.1,
+                    got.len(),
+                    keys.len()
+                ),
+            );
+        }
+    }
+}
+
+/// Persist→load fixpoint: encoding, decoding, and re-encoding must
+/// reproduce the byte stream exactly (the format is canonical — clusters
+/// sorted by key — so equality is well-defined).
+fn check_persist_fixpoint(gc: &Ccsr, r: &mut ValidationReport) {
+    r.ran("ccsr.persist-fixpoint");
+    let bytes = persist::to_bytes(gc);
+    match persist::from_bytes(&bytes) {
+        Ok(back) => {
+            if persist::to_bytes(&back) != bytes {
+                r.violation(
+                    "ccsr.persist-fixpoint",
+                    "re-encoding a decoded G_C changes the byte stream",
+                );
+            }
+        }
+        Err(e) => {
+            r.violation("ccsr.persist-fixpoint", format!("own encoding fails to decode: {e}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_ccsr::build_ccsr;
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    fn sample() -> Ccsr {
+        let mut b = GraphBuilder::new();
+        for l in [0, 1, 2, 0, 1, 2] {
+            b.add_vertex(l);
+        }
+        b.add_edge(0, 1, 7).unwrap();
+        b.add_edge(3, 1, 7).unwrap();
+        b.add_edge(1, 2, NO_LABEL).unwrap();
+        b.add_undirected_edge(2, 4, NO_LABEL).unwrap();
+        b.add_undirected_edge(2, 5, 3).unwrap();
+        build_ccsr(&b.build())
+    }
+
+    #[test]
+    fn built_ccsr_passes_all_checks() {
+        let report = sample().validate();
+        assert!(report.is_ok(), "{:?}", report.details());
+        assert!(report.checks_run() >= 12);
+    }
+
+    #[test]
+    fn empty_ccsr_passes() {
+        let gc = build_ccsr(&GraphBuilder::new().build());
+        assert!(gc.validate().is_ok());
+    }
+
+    #[test]
+    fn valid_bytes_pass() {
+        let bytes = persist::to_bytes(&sample());
+        let report = validate_ccsr_bytes(&bytes, "bytes");
+        assert!(report.is_ok(), "{:?}", report.details());
+    }
+
+    #[test]
+    fn flipped_row_index_run_is_detected() {
+        // ISSUE acceptance: a deliberately corrupted serialized G_C with a
+        // flipped (non-monotone) row-index run must be flagged.
+        let gc = sample();
+        let good = persist::to_bytes(&gc);
+        let mut seen_rejection = false;
+        // Walk the encoding and try swapping each adjacent pair of run
+        // values we can find; at least one such flip must be caught.
+        for i in (8..good.len().saturating_sub(8)).step_by(4) {
+            let mut bad = good.clone();
+            bad[i..i + 8].rotate_left(4);
+            if bad == good {
+                continue;
+            }
+            let report = validate_ccsr_bytes(&bad, "corrupt");
+            if !report.is_ok() {
+                seen_rejection = true;
+                break;
+            }
+        }
+        assert!(seen_rejection, "no corruption detected by any 4-byte swap");
+    }
+
+    #[test]
+    fn label_swap_corruption_is_detected() {
+        // Swapping two vertex labels desynchronizes cluster keys from arc
+        // labels — from_bytes accepts the stream, the deep check must not.
+        let gc = sample();
+        let mut bytes = persist::to_bytes(&gc);
+        // Labels start after the 8-byte magic + 4-byte n; vertex 0 has
+        // label 0, vertex 2 has label 2 — swap them.
+        let base = 12;
+        bytes.swap(base, base + 8);
+        let report = validate_ccsr_bytes(&bytes, "label-swapped");
+        assert!(!report.is_ok(), "label-swapped G_C passed: {:?}", report.checks());
+    }
+}

@@ -1,0 +1,574 @@
+//! Deep structural validation of plan artifacts — the dependency DAG `H`
+//! (Algorithm 2), descendant sizes (Algorithm 3), the LDSF matching order
+//! (Algorithm 4), NEC classes, cache slots, and the factorized execution
+//! tree.
+//!
+//! Everything is re-derived from first principles: acyclicity by Kahn's
+//! algorithm, descendant sizes by naive per-vertex DFS (not the bitset
+//! dynamic program being audited), NEC soundness by recomputing classes
+//! from the pattern. A planner regression that emits a cyclic `H`, a
+//! non-topological `Φ*`, or an execution tree that skips a vertex shows up
+//! here instead of as a silently wrong count.
+
+use crate::{Validate, ValidationReport};
+use csce_core::plan::dag::Dag;
+use csce_core::plan::descendant::descendant_sizes;
+use csce_core::plan::nec::nec_classes;
+use csce_core::plan::ExecNode;
+use csce_core::Plan;
+use csce_graph::{FxHashMap, Graph, Variant, VertexId};
+
+impl Validate for Dag {
+    fn validate(&self) -> ValidationReport {
+        let mut r = ValidationReport::new(format!(
+            "dependency dag ({} vertices, {} arcs)",
+            self.n(),
+            self.edge_count()
+        ));
+        check_dag_structure(self, &mut r);
+        let acyclic = check_acyclic(self, &mut r);
+        if acyclic {
+            check_descendant_sizes(self, &mut r);
+        }
+        r
+    }
+}
+
+impl Validate for Plan {
+    fn validate(&self) -> ValidationReport {
+        let mut r = ValidationReport::new(format!(
+            "plan ({} vertices, {})",
+            self.order.len(),
+            self.variant
+        ));
+        r.merge(self.dag.validate());
+        check_order(self, &mut r);
+        check_backward_neighbors(self, &mut r);
+        check_exec_tree(self, &mut r);
+        check_cache_slots(self, &mut r);
+        check_sce_bounds(self, &mut r);
+        check_induced_filter_shape(self, &mut r);
+        r
+    }
+}
+
+/// Pattern-aware plan validation: everything [`Validate`] checks plus the
+/// properties that need the pattern itself — every pattern edge realized
+/// exactly once as a dependency, NEC classes that refine the recomputed
+/// neighborhood equivalence, and induced filters matching the pattern's
+/// pair codes.
+pub fn validate_plan(p: &Graph, plan: &Plan) -> ValidationReport {
+    let mut r = plan.validate();
+    r.ran("plan.pattern-size");
+    if plan.dag.n() != p.n() || plan.order.len() != p.n() {
+        r.violation(
+            "plan.pattern-size",
+            format!(
+                "plan spans {} vertices (dag {}) but the pattern has {}",
+                plan.order.len(),
+                plan.dag.n(),
+                p.n()
+            ),
+        );
+        return r;
+    }
+    check_edge_dependencies(p, plan, &mut r);
+    check_nec_refinement(p, plan, &mut r);
+    check_induced_filter_codes(p, plan, &mut r);
+    r
+}
+
+/// Adjacency mirror consistency, sortedness, vertex ranges, and the
+/// containment of edge/negation parents in the plain parent lists.
+fn check_dag_structure(dag: &Dag, r: &mut ValidationReport) {
+    r.ran("dag.mirror");
+    r.ran("dag.sorted-unique");
+    r.ran("dag.vertex-range");
+    r.ran("dag.parent-closure");
+    let n = dag.n() as VertexId;
+    for u in 0..n {
+        for list in [dag.children(u), dag.parents(u)] {
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                r.violation(
+                    "dag.sorted-unique",
+                    format!("vertex {u}: adjacency list is not sorted and deduplicated"),
+                );
+            }
+            if list.iter().any(|&w| w >= n) {
+                r.violation("dag.vertex-range", format!("vertex {u} references a vertex >= {n}"));
+            }
+        }
+        for &c in dag.children(u) {
+            if c < n && dag.parents(c).binary_search(&u).is_err() {
+                r.violation("dag.mirror", format!("arc {u} -> {c} missing from {c}'s parents"));
+            }
+        }
+        for &p in dag.parents(u) {
+            if p < n && dag.children(p).binary_search(&u).is_err() {
+                r.violation("dag.mirror", format!("arc {p} -> {u} missing from {p}'s children"));
+            }
+        }
+        let mut edge_set: Vec<VertexId> = dag.edge_parents(u).iter().map(|&(p, _)| p).collect();
+        edge_set.sort_unstable();
+        edge_set.dedup();
+        for &p in &edge_set {
+            if dag.parents(u).binary_search(&p).is_err() {
+                r.violation(
+                    "dag.parent-closure",
+                    format!("vertex {u}: edge parent {p} is not a dependency parent"),
+                );
+            }
+        }
+        for &p in dag.negation_parents(u) {
+            if dag.parents(u).binary_search(&p).is_err() {
+                r.violation(
+                    "dag.parent-closure",
+                    format!("vertex {u}: negation parent {p} is not a dependency parent"),
+                );
+            }
+            if edge_set.binary_search(&p).is_ok() {
+                r.violation(
+                    "dag.parent-closure",
+                    format!("vertex {u}: parent {p} is both an edge and a negation dependency"),
+                );
+            }
+        }
+    }
+}
+
+/// Acyclicity by Kahn's algorithm; returns whether `H` is acyclic.
+fn check_acyclic(dag: &Dag, r: &mut ValidationReport) -> bool {
+    r.ran("dag.acyclic");
+    let n = dag.n();
+    let mut indegree: Vec<usize> = (0..n).map(|u| dag.parents(u as VertexId).len()).collect();
+    let mut ready: Vec<VertexId> =
+        (0..n as VertexId).filter(|&u| indegree[u as usize] == 0).collect();
+    let mut done = 0usize;
+    while let Some(u) = ready.pop() {
+        done += 1;
+        for &c in dag.children(u) {
+            if (c as usize) < n {
+                indegree[c as usize] -= 1;
+                if indegree[c as usize] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+    }
+    if done != n {
+        r.violation("dag.acyclic", format!("H contains a cycle through {} vertices", n - done));
+        return false;
+    }
+    true
+}
+
+/// Algorithm 3 audited by brute force: per-vertex DFS reachability counts
+/// must equal the bitset dynamic program's output.
+fn check_descendant_sizes(dag: &Dag, r: &mut ValidationReport) {
+    r.ran("dag.descendant-sizes");
+    let fast = descendant_sizes(dag);
+    let n = dag.n();
+    for u in 0..n as VertexId {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<VertexId> = dag.children(u).to_vec();
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            if seen[v as usize] {
+                continue;
+            }
+            seen[v as usize] = true;
+            count += 1;
+            stack.extend_from_slice(dag.children(v));
+        }
+        if fast[u as usize] != count {
+            r.violation(
+                "dag.descendant-sizes",
+                format!(
+                    "vertex {u}: Algorithm 3 reports {} descendants, DFS finds {count}",
+                    fast[u as usize]
+                ),
+            );
+        }
+    }
+}
+
+/// `Φ*` is a permutation, `pos_of` is its inverse, and the order is
+/// topological with respect to `H` (Algorithm 4's contract).
+fn check_order(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.order-permutation");
+    r.ran("plan.pos-inverse");
+    r.ran("plan.topological");
+    let n = plan.dag.n();
+    let mut seen = vec![false; n];
+    for &u in &plan.order {
+        if (u as usize) >= n || seen[u as usize] {
+            r.violation(
+                "plan.order-permutation",
+                format!("Φ* is not a permutation of 0..{n}: vertex {u} repeated or out of range"),
+            );
+            return;
+        }
+        seen[u as usize] = true;
+    }
+    if plan.order.len() != n {
+        r.violation(
+            "plan.order-permutation",
+            format!("Φ* has {} entries for {n} vertices", plan.order.len()),
+        );
+        return;
+    }
+    if plan.pos_of.len() != n {
+        r.violation(
+            "plan.pos-inverse",
+            format!("pos_of has {} entries for {n}", plan.pos_of.len()),
+        );
+        return;
+    }
+    for (k, &u) in plan.order.iter().enumerate() {
+        if plan.pos_of[u as usize] as usize != k {
+            r.violation(
+                "plan.pos-inverse",
+                format!("pos_of[{u}] = {} but Φ* places it at {k}", plan.pos_of[u as usize]),
+            );
+        }
+    }
+    for &u in &plan.order {
+        for &p in plan.dag.parents(u) {
+            if plan.pos_of[p as usize] >= plan.pos_of[u as usize] {
+                r.violation(
+                    "plan.topological",
+                    format!("dependency {p} -> {u} is violated by the order"),
+                );
+            }
+        }
+    }
+}
+
+/// LDSF's backward-neighbor contract for connected patterns: every vertex
+/// after the first has at least one edge dependency on an earlier vertex.
+fn check_backward_neighbors(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.backward-neighbors");
+    for &u in plan.order.iter().skip(1) {
+        if plan.dag.edge_parents(u).is_empty() {
+            r.violation(
+                "plan.backward-neighbors",
+                format!("vertex {u} has no backward edge dependency (order not connected)"),
+            );
+        }
+    }
+}
+
+/// The execution tree maps every pattern vertex exactly once on each
+/// root-to-`Done` path, and sequencing respects `Φ*` within each branch.
+fn check_exec_tree(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.exec-tree-coverage");
+    r.ran("plan.exec-tree-order");
+    let n = plan.dag.n();
+    if plan.pos_of.len() != n {
+        return; // unusable position index; reported by check_order
+    }
+    let mut counts = vec![0u32; n];
+    visit_exec(&plan.root, plan, -1, &mut counts, r);
+    for (u, &c) in counts.iter().enumerate() {
+        if c != 1 {
+            r.violation(
+                "plan.exec-tree-coverage",
+                format!("vertex {u} appears {c} times in the execution tree, expected once"),
+            );
+        }
+    }
+}
+
+fn visit_exec(
+    node: &ExecNode,
+    plan: &Plan,
+    last_pos: i64,
+    counts: &mut [u32],
+    r: &mut ValidationReport,
+) {
+    match node {
+        ExecNode::Done => {}
+        ExecNode::Seq { u, next } => {
+            if (*u as usize) < counts.len() {
+                counts[*u as usize] += 1;
+                let pos = plan.pos_of[*u as usize] as i64;
+                if pos <= last_pos {
+                    r.violation(
+                        "plan.exec-tree-order",
+                        format!("vertex {u} is sequenced against the Φ* order"),
+                    );
+                }
+                visit_exec(next, plan, pos, counts, r);
+            } else {
+                r.violation("plan.exec-tree-coverage", format!("tree references vertex {u}"));
+            }
+        }
+        ExecNode::Split { components } => {
+            for c in components {
+                visit_exec(c, plan, last_pos, counts, r);
+            }
+        }
+    }
+}
+
+/// Cache slots are dense and in bijection with
+/// `(NEC class, parents, negation parents)` signatures.
+fn check_cache_slots(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.cache-slots");
+    let n = plan.dag.n();
+    if plan.cache_slot.len() != n || plan.nec_class.len() != n {
+        r.violation(
+            "plan.cache-slots",
+            format!(
+                "cache_slot/nec_class sized {}/{} for {n} vertices",
+                plan.cache_slot.len(),
+                plan.nec_class.len()
+            ),
+        );
+        return;
+    }
+    let mut sig_of_slot: FxHashMap<u32, (u32, Vec<VertexId>, Vec<VertexId>)> = FxHashMap::default();
+    let mut slot_of_sig: FxHashMap<(u32, Vec<VertexId>, Vec<VertexId>), u32> = FxHashMap::default();
+    for u in 0..n as VertexId {
+        let slot = plan.cache_slot[u as usize];
+        if slot as usize >= plan.slot_count {
+            r.violation(
+                "plan.cache-slots",
+                format!("vertex {u} uses slot {slot} >= slot_count {}", plan.slot_count),
+            );
+            continue;
+        }
+        let sig = (
+            plan.nec_class[u as usize],
+            plan.dag.parents(u).to_vec(),
+            plan.dag.negation_parents(u).to_vec(),
+        );
+        if let Some(prev) = sig_of_slot.get(&slot) {
+            if prev != &sig {
+                r.violation(
+                    "plan.cache-slots",
+                    format!("slot {slot} is shared by vertices with different signatures"),
+                );
+            }
+        } else {
+            sig_of_slot.insert(slot, sig.clone());
+        }
+        if let Some(&prev_slot) = slot_of_sig.get(&sig) {
+            if prev_slot != slot {
+                r.violation(
+                    "plan.cache-slots",
+                    format!("equal signatures split across slots {prev_slot} and {slot}"),
+                );
+            }
+        } else {
+            slot_of_sig.insert(sig, slot);
+        }
+    }
+    if sig_of_slot.len() != plan.slot_count {
+        r.violation(
+            "plan.cache-slots",
+            format!("{} slots in use but slot_count = {}", sig_of_slot.len(), plan.slot_count),
+        );
+    }
+}
+
+/// The SCE occurrence statistics are internally consistent.
+fn check_sce_bounds(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.sce-bounds");
+    let n = plan.order.len();
+    let s = &plan.sce;
+    let pair_bound = n * n.saturating_sub(1) / 2;
+    if s.total_vertices != n
+        || s.sce_vertices > n
+        || s.cluster_sce_vertices > s.sce_vertices
+        || s.cluster_sce_pairs > s.sce_pairs
+        || s.sce_pairs > pair_bound
+    {
+        r.violation(
+            "plan.sce-bounds",
+            format!(
+                "inconsistent SCE stats: {}/{} vertices ({} cluster), {}/{pair_bound} pairs ({} cluster)",
+                s.sce_vertices, s.total_vertices, s.cluster_sce_vertices, s.sce_pairs,
+                s.cluster_sce_pairs
+            ),
+        );
+    }
+}
+
+/// Induced filters exist exactly for the vertex-induced variant, one list
+/// per vertex, each filter naming a dependency parent.
+fn check_induced_filter_shape(plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.induced-filters");
+    let n = plan.dag.n();
+    if plan.induced_filters.len() != n {
+        r.violation(
+            "plan.induced-filters",
+            format!("{} filter lists for {n} vertices", plan.induced_filters.len()),
+        );
+        return;
+    }
+    for (u, filters) in plan.induced_filters.iter().enumerate() {
+        if plan.variant != Variant::VertexInduced {
+            if !filters.is_empty() {
+                r.violation(
+                    "plan.induced-filters",
+                    format!("vertex {u} carries induced filters under {}", plan.variant),
+                );
+            }
+            continue;
+        }
+        let parents: Vec<VertexId> = filters.iter().map(|f| f.parent).collect();
+        if parents != plan.dag.parents(u as VertexId) {
+            r.violation(
+                "plan.induced-filters",
+                format!("vertex {u}: filter parents do not match dependency parents"),
+            );
+        }
+    }
+}
+
+/// Every pattern edge is realized as exactly one edge dependency, and each
+/// dependency's edge index actually connects the pair it claims to.
+fn check_edge_dependencies(p: &Graph, plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.edge-dependencies");
+    let mut realized = vec![0u32; p.m()];
+    for u in 0..p.n() as VertexId {
+        for &(parent, eidx) in plan.dag.edge_parents(u) {
+            let Some(e) = p.edges().get(eidx) else {
+                r.violation(
+                    "plan.edge-dependencies",
+                    format!("vertex {u}: edge index {eidx} is out of range"),
+                );
+                continue;
+            };
+            realized[eidx] += 1;
+            if (e.src, e.dst) != (parent, u) && (e.src, e.dst) != (u, parent) {
+                r.violation(
+                    "plan.edge-dependencies",
+                    format!(
+                        "dependency {parent} -> {u} cites edge {eidx} which connects ({}, {})",
+                        e.src, e.dst
+                    ),
+                );
+            }
+        }
+    }
+    for (eidx, &c) in realized.iter().enumerate() {
+        if c != 1 {
+            r.violation(
+                "plan.edge-dependencies",
+                format!("pattern edge {eidx} realized {c} times as a dependency, expected once"),
+            );
+        }
+    }
+}
+
+/// NEC soundness: vertices the plan places in one class must be
+/// neighborhood-equivalent under a from-scratch recomputation (the plan's
+/// classes may be finer — the `nec: false` preset uses identity classes —
+/// but never coarser).
+fn check_nec_refinement(p: &Graph, plan: &Plan, r: &mut ValidationReport) {
+    r.ran("plan.nec-refinement");
+    let truth = nec_classes(p);
+    let mut rep_of_class: FxHashMap<u32, VertexId> = FxHashMap::default();
+    for u in 0..p.n() as VertexId {
+        let c = plan.nec_class[u as usize];
+        match rep_of_class.get(&c) {
+            Some(&rep) => {
+                if truth[rep as usize] != truth[u as usize] {
+                    r.violation(
+                        "plan.nec-refinement",
+                        format!(
+                            "plan groups {rep} and {u} in NEC class {c} but they are not neighborhood-equivalent"
+                        ),
+                    );
+                }
+            }
+            None => {
+                rep_of_class.insert(c, u);
+            }
+        }
+    }
+}
+
+/// Vertex-induced filters carry the pattern's pair codes verbatim.
+fn check_induced_filter_codes(p: &Graph, plan: &Plan, r: &mut ValidationReport) {
+    if plan.variant != Variant::VertexInduced {
+        return;
+    }
+    r.ran("plan.induced-filter-codes");
+    for (u, filters) in plan.induced_filters.iter().enumerate() {
+        for f in filters {
+            let expected = csce_graph::pattern::pair_code(p, f.parent, u as VertexId);
+            if f.allowed != expected {
+                r.violation(
+                    "plan.induced-filter-codes",
+                    format!(
+                        "vertex {u}, parent {}: filter allows {:?}, pattern pair code is {:?}",
+                        f.parent, f.allowed, expected
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csce_ccsr::{build_ccsr, read_csr};
+    use csce_core::{Catalog, Planner, PlannerConfig};
+    use csce_graph::{GraphBuilder, NO_LABEL};
+
+    fn fig1_pattern() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &l in &[0u32, 1, 2, 2, 1, 0, 3, 0] {
+            b.add_vertex(l);
+        }
+        for (s, d) in [(0, 1), (0, 2), (0, 5), (6, 0), (1, 3), (4, 1), (5, 4), (5, 7)] {
+            b.add_edge(s, d, NO_LABEL).unwrap();
+        }
+        b.build()
+    }
+
+    fn check_variant(variant: Variant, config: PlannerConfig) {
+        let p = fig1_pattern();
+        let gc = build_ccsr(&p);
+        let star = read_csr(&gc, &p, variant);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(config).plan(&catalog, variant);
+        let report = validate_plan(&p, &plan);
+        assert!(report.is_ok(), "{variant}: {:?}", report.details());
+        assert!(report.checks_run() >= 15);
+    }
+
+    #[test]
+    fn generated_plans_pass_all_variants_and_presets() {
+        for variant in Variant::ALL {
+            check_variant(variant, PlannerConfig::csce());
+            check_variant(variant, PlannerConfig::ri_only());
+            check_variant(variant, PlannerConfig::ri_cluster());
+        }
+    }
+
+    #[test]
+    fn cyclic_dag_is_detected() {
+        // ISSUE acceptance: a cyclic dependency graph must be flagged.
+        let dag = Dag::from_arcs(3, &[(0, 1), (1, 2), (2, 0)]);
+        let report = dag.validate();
+        assert!(!report.is_ok());
+        assert!(report.details().iter().any(|v| v.checker == "dag.acyclic"), "{report:?}");
+    }
+
+    #[test]
+    fn acyclic_hand_built_dag_passes() {
+        let dag = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let report = dag.validate();
+        assert!(report.is_ok(), "{:?}", report.details());
+    }
+
+    #[test]
+    fn single_vertex_dag_passes() {
+        assert!(Dag::from_arcs(1, &[]).validate().is_ok());
+    }
+}

@@ -19,6 +19,8 @@
 //! sweep them uniformly; each returns full counts (the paper finds *all*
 //! embeddings) plus timing and timeout flags.
 
+#![forbid(unsafe_code)]
+
 pub mod cfl;
 pub mod common;
 pub mod fsp;

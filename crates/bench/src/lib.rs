@@ -11,6 +11,11 @@
 //! [`BenchReport`] collector that mirrors every run into a
 //! machine-readable `BENCH_<name>.json` file.
 
+#![deny(unsafe_code)]
+
+// The tracking allocator is the one place in the workspace that needs
+// `unsafe`: wrapping [`std::alloc::System`] behind `GlobalAlloc`.
+#[allow(unsafe_code)]
 pub mod alloc;
 pub mod report;
 pub mod runner;

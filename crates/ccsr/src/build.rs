@@ -57,6 +57,17 @@ pub fn build_ccsr(g: &Graph) -> Ccsr {
     for keys in pair_index.values_mut() {
         keys.sort_unstable();
     }
+    // Boundary invariant (deep form in `csce-analyze`): directed clusters
+    // carry an incoming CSR, undirected keys are canonical with each edge
+    // stored from both endpoints (even arc count).
+    debug_assert!(
+        clusters.values().all(|c| {
+            c.key.directed == c.inc.is_some()
+                && (c.key.directed
+                    || (c.key.src_label <= c.key.dst_label && c.out.neighbors().len() % 2 == 0))
+        }),
+        "clusters must be direction-consistent with canonical undirected keys"
+    );
     Ccsr {
         n: n as u32,
         vertex_labels: g.labels().to_vec(),

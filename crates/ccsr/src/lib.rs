@@ -20,6 +20,8 @@
 //! keep `G`"). [`persist`] serializes `G_C` to a compact binary file so
 //! clustering cost is paid once per data graph, not per query.
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod cluster;
 pub mod compress;

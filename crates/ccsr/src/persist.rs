@@ -44,23 +44,30 @@ fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Split `n` bytes off the front of the cursor, or fail cleanly.
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], PersistError> {
+/// Split `n` bytes off the front of the cursor, or fail cleanly with the
+/// field name that was being decoded.
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
     if buf.len() < n {
-        return Err(PersistError::Corrupt("unexpected end of file"));
+        return Err(PersistError::Corrupt(what));
     }
     let (head, rest) = buf.split_at(n);
     *buf = rest;
     Ok(head)
 }
 
-fn read_u32(buf: &mut &[u8]) -> Result<u32, PersistError> {
-    let bytes = take(buf, 4)?;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+/// Decode a little-endian `u32` from a slice, failing with context instead
+/// of panicking when the slice is not exactly four bytes.
+fn le_u32(bytes: &[u8], what: &'static str) -> Result<u32, PersistError> {
+    let arr: [u8; 4] = bytes.try_into().map_err(|_| PersistError::Corrupt(what))?;
+    Ok(u32::from_le_bytes(arr))
 }
 
-fn read_u8(buf: &mut &[u8]) -> Result<u8, PersistError> {
-    Ok(take(buf, 1)?[0])
+fn read_u32(buf: &mut &[u8], what: &'static str) -> Result<u32, PersistError> {
+    le_u32(take(buf, 4, what)?, what)
+}
+
+fn read_u8(buf: &mut &[u8], what: &'static str) -> Result<u8, PersistError> {
+    Ok(take(buf, 1, what)?[0])
 }
 
 fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
@@ -76,21 +83,19 @@ fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
 }
 
 fn get_compressed(buf: &mut &[u8]) -> Result<CompressedCsr, PersistError> {
-    let runs_len = read_u32(buf)? as usize;
-    let runs_bytes =
-        take(buf, runs_len * 8).map_err(|_| PersistError::Corrupt("truncated runs"))?;
+    let runs_len = read_u32(buf, "truncated run count")? as usize;
+    let runs_bytes = take(buf, runs_len * 8, "truncated runs")?;
     let mut runs = Vec::with_capacity(runs_len);
     for chunk in runs_bytes.chunks_exact(8) {
-        let value = u32::from_le_bytes(chunk[..4].try_into().expect("4-byte slice"));
-        let count = u32::from_le_bytes(chunk[4..].try_into().expect("4-byte slice"));
+        let value = le_u32(&chunk[..4], "run value")?;
+        let count = le_u32(&chunk[4..], "run count")?;
         runs.push((value, count));
     }
-    let nbr_len = read_u32(buf)? as usize;
-    let nbr_bytes =
-        take(buf, nbr_len * 4).map_err(|_| PersistError::Corrupt("truncated neighbors"))?;
+    let nbr_len = read_u32(buf, "truncated neighbor count")? as usize;
+    let nbr_bytes = take(buf, nbr_len * 4, "truncated neighbors")?;
     let mut neighbors = Vec::with_capacity(nbr_len);
     for chunk in nbr_bytes.chunks_exact(4) {
-        neighbors.push(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")));
+        neighbors.push(le_u32(chunk, "neighbor id")?);
     }
     CompressedCsr::from_parts(runs, neighbors)
         .ok_or(PersistError::Corrupt("invalid compressed row index"))
@@ -130,24 +135,29 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Ccsr, PersistError> {
         return Err(PersistError::Corrupt("bad magic"));
     }
     buf = &buf[MAGIC.len()..];
-    let n = read_u32(&mut buf)?;
-    let label_bytes =
-        take(&mut buf, n as usize * 4).map_err(|_| PersistError::Corrupt("truncated labels"))?;
+    let n = read_u32(&mut buf, "truncated vertex count")?;
+    let label_bytes = take(&mut buf, n as usize * 4, "truncated labels")?;
     let mut labels = Vec::with_capacity(n as usize);
     for chunk in label_bytes.chunks_exact(4) {
-        labels.push(u32::from_le_bytes(chunk.try_into().expect("4-byte slice")));
+        labels.push(le_u32(chunk, "vertex label")?);
     }
-    let cluster_count = read_u32(&mut buf)? as usize;
-    let mut clusters = Vec::with_capacity(cluster_count);
+    let cluster_count = read_u32(&mut buf, "truncated cluster count")? as usize;
+    let mut clusters: Vec<Cluster> = Vec::with_capacity(cluster_count);
     for _ in 0..cluster_count {
-        let src_label = read_u32(&mut buf)?;
-        let dst_label = read_u32(&mut buf)?;
-        let edge_label = read_u32(&mut buf)?;
-        let directed = read_u8(&mut buf).map_err(|_| PersistError::Corrupt("truncated key"))? != 0;
+        let src_label = read_u32(&mut buf, "truncated key")?;
+        let dst_label = read_u32(&mut buf, "truncated key")?;
+        let edge_label = read_u32(&mut buf, "truncated key")?;
+        let directed = read_u8(&mut buf, "truncated key")? != 0;
         let key = ClusterKey { src_label, dst_label, edge_label, directed };
+        if let Some(prev) = clusters.last() {
+            // `to_bytes` emits clusters sorted by key, so the encoding is
+            // canonical; anything out of order (or duplicated) is corrupt.
+            if prev.key >= key {
+                return Err(PersistError::Corrupt("clusters out of key order"));
+            }
+        }
         let out = get_compressed(&mut buf)?;
-        let inc_flag =
-            read_u8(&mut buf).map_err(|_| PersistError::Corrupt("truncated inc flag"))?;
+        let inc_flag = read_u8(&mut buf, "truncated inc flag")?;
         let inc = if inc_flag != 0 { Some(get_compressed(&mut buf)?) } else { None };
         if directed != inc.is_some() {
             return Err(PersistError::Corrupt("direction / csr-count mismatch"));

@@ -39,6 +39,8 @@
 //! assert_eq!(engine.count(&p, Variant::VertexInduced), 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bitset;
 pub mod catalog;
 pub mod exec;

@@ -97,6 +97,31 @@ pub fn build_dag(catalog: &Catalog<'_>, phi: &[VertexId], variant: Variant) -> D
 }
 
 impl Dag {
+    /// Construct a bare dependency graph from explicit arcs, without any
+    /// pattern or catalog. Intended for validation tooling and tests that
+    /// need to exercise structurally *invalid* inputs (e.g. a cyclic `H`)
+    /// that [`build_dag`] can never produce; carries no edge or negation
+    /// dependency detail.
+    pub fn from_arcs(n: usize, arcs: &[(VertexId, VertexId)]) -> Dag {
+        let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut inp: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for &(a, b) in arcs {
+            out[a as usize].push(b);
+            inp[b as usize].push(a);
+        }
+        for list in out.iter_mut().chain(inp.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Dag {
+            n,
+            out,
+            inp,
+            edge_parents: vec![Vec::new(); n],
+            negation_parents: vec![Vec::new(); n],
+        }
+    }
+
     /// Number of pattern vertices.
     #[inline]
     pub fn n(&self) -> usize {

@@ -242,6 +242,21 @@ impl Planner {
             vec![Vec::new(); p.n()]
         };
 
+        // Boundary invariant (deep form in `csce-analyze`): the LDSF order
+        // is a permutation of `V_P`, topological w.r.t. the DAG, and
+        // `pos_of` is its inverse.
+        debug_assert!(
+            {
+                let mut seen = vec![false; p.n()];
+                order.iter().enumerate().all(|(k, &u)| {
+                    let fresh = !std::mem::replace(&mut seen[u as usize], true);
+                    fresh
+                        && pos_of[u as usize] as usize == k
+                        && dag.parents(u).iter().all(|&q| (pos_of[q as usize] as usize) < k)
+                })
+            },
+            "plan order must be a topological permutation with inverse pos_of"
+        );
         Plan {
             variant,
             order,

@@ -11,6 +11,8 @@
 //! Human) — at a scale where every experiment finishes on one machine.
 //! All presets are seeded and fully deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod clustering;
 pub mod email;
 pub mod motifs;

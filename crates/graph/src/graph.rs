@@ -239,18 +239,24 @@ impl Graph {
     /// vertex labels" in Fig. 10/11.
     pub fn with_vertex_labels(&self, labels: Vec<Label>) -> Graph {
         assert_eq!(labels.len(), self.n(), "label vector must cover all vertices");
-        let mut b = GraphBuilder::new();
+        // Relabelling cannot invalidate the (already validated) structure, so
+        // copy it directly instead of replaying edges through the builder;
+        // only the label-derived statistics need recomputing.
+        let mut label_freq = FxHashMap::default();
         for &l in &labels {
-            b.add_vertex(l);
+            *label_freq.entry(l).or_insert(0) += 1;
         }
-        for e in &self.edges {
-            if e.directed {
-                b.add_edge(e.src, e.dst, e.label).expect("edge was valid");
-            } else {
-                b.add_undirected_edge(e.src, e.dst, e.label).expect("edge was valid");
-            }
+        let vertex_label_count = label_freq.len();
+        Graph {
+            labels,
+            adj: self.adj.clone(),
+            edges: self.edges.clone(),
+            degree: self.degree.clone(),
+            label_freq,
+            vertex_label_count,
+            edge_label_count: self.edge_label_count,
+            directed_edge_count: self.directed_edge_count,
         }
-        b.build()
     }
 }
 
@@ -418,6 +424,14 @@ impl GraphBuilder {
         edge_labels.sort_unstable();
         edge_labels.dedup();
         let directed_edge_count = self.edges.iter().filter(|e| e.directed).count();
+        // Boundary invariant (deep form in `csce-analyze`): each edge
+        // contributes exactly two adjacency entries and lists are strictly
+        // sorted — equal entries would mean an undetected duplicate edge.
+        debug_assert!(
+            adj.iter().map(Vec::len).sum::<usize>() == 2 * self.edges.len()
+                && adj.iter().all(|list| list.windows(2).all(|w| w[0] < w[1])),
+            "adjacency must mirror the edge list with strictly sorted rows"
+        );
         Graph {
             labels: self.labels,
             adj,

@@ -23,6 +23,8 @@
 //!   comparisons;
 //! * [`stats`] — the dataset statistics reported in Table IV of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod automorphism;
 pub mod export;
 pub mod generate;

@@ -18,6 +18,8 @@
 //!   available in the build environment, and report validity is covered
 //!   by parsing our own output back).
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod metrics;
 pub mod report;

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# The full CI gate, runnable locally: formatting, lints, release build,
-# test suite. Mirrors .github/workflows/ci.yml.
+# The full CI gate, runnable locally: formatting, lints, source policy,
+# release build, test suite. Mirrors .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy (deny warnings + pedantic subset)"
+cargo clippy --workspace --all-targets -- -D warnings \
+  -D clippy::dbg_macro -D clippy::todo -D clippy::unimplemented \
+  -D clippy::mem_forget -D clippy::exit -D clippy::large_stack_arrays
+
+echo "==> csce-lint (source policy ratchet)"
+cargo run -q -p csce-analyze --bin csce-lint
 
 echo "==> cargo build --release"
 cargo build --release --workspace

@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         Some("cluster") => cmd_cluster(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("match") => cmd_match(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -58,6 +59,7 @@ fn print_usage() {
          [--variant e|v|h] [--enumerate [N]] [--plan ri|ri+c|csce]\n            \
          [--time-limit SECS] [--threads N] [--stats [text|json]]\n            \
          [--progress SECS] [--explain]\n  \
+         csce validate <graph.csce|data.ccsr> [--query \"...\"] [--variant e|v|h] [--plan ri|ri+c|csce]\n  \
          csce dot <graph.csce | --query \"...\">"
     );
 }
@@ -123,6 +125,101 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         println!("{}", csce::graph::GraphStats::of(&g));
     }
     Ok(())
+}
+
+/// `csce validate <graph.csce|data.ccsr> [--query "..." | pattern.csce]
+/// [--variant e|v|h] [--plan ri|ri+c|csce]`: run the `csce-analyze` deep
+/// structural checkers and print a PASS/FAIL report via `csce-obs`.
+///
+/// A `.csce` text graph is checked as a graph, then clustered and the
+/// resulting `G_C` checked; a `.ccsr` file is decoded and checked
+/// byte-for-byte (including the persist fixpoint). With a pattern, the
+/// generated plan artifacts (DAG, LDSF order, NEC classes, cache slots)
+/// are checked against the pattern too.
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    use csce::analyze::{ccsr_check, plan_check, Validate, ValidationReport};
+    let mut positional: Vec<&String> = Vec::new();
+    let mut query: Option<String> = None;
+    let mut variant = Variant::EdgeInduced;
+    let mut planner = PlannerConfig::csce();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--query" => query = Some(it.next().ok_or("missing --query value")?.clone()),
+            "--variant" => variant = parse_variant(it.next().ok_or("missing --variant value")?)?,
+            "--plan" => {
+                planner = match it.next().ok_or("missing --plan value")?.as_str() {
+                    "ri" => PlannerConfig::ri_only(),
+                    "ri+c" => PlannerConfig::ri_cluster(),
+                    "csce" => PlannerConfig::csce(),
+                    other => return Err(format!("unknown planner {other:?}")),
+                };
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            _ => positional.push(a),
+        }
+    }
+    let (data, pattern) = match (positional.as_slice(), query) {
+        ([data], None) => (*data, None),
+        ([data], Some(q)) => {
+            (*data, Some(csce::graph::query::parse_pattern(&q).map_err(|e| e.to_string())?))
+        }
+        ([data, pattern], None) => (*data, Some(load_graph(pattern)?)),
+        _ => {
+            return Err(
+                "usage: csce validate <graph.csce|data.ccsr> [pattern.csce | --query \"...\"]"
+                    .to_string(),
+            )
+        }
+    };
+
+    let mut report;
+    let engine;
+    if data.ends_with(".ccsr") {
+        let bytes = std::fs::read(data).map_err(|e| format!("reading {data}: {e}"))?;
+        report = ccsr_check::validate_ccsr_bytes(&bytes, data.to_string());
+        engine = if report.is_ok() {
+            Some(Engine::from_ccsr(
+                csce::ccsr::persist::from_bytes(&bytes).map_err(|e| e.to_string())?,
+            ))
+        } else {
+            None
+        };
+    } else {
+        let g = load_graph(data)?;
+        report = g.validate();
+        report.subject = data.to_string();
+        let e = Engine::build(&g);
+        report.merge(e.ccsr().validate());
+        engine = Some(e);
+    }
+
+    if let Some(p) = pattern {
+        if !p.is_connected() {
+            return Err("pattern must be connected".to_string());
+        }
+        report.merge(p.validate());
+        match &engine {
+            Some(e) => {
+                let plan = e.plan(&p, variant, planner);
+                report.merge(plan_check::validate_plan(&p, &plan));
+            }
+            None => {
+                // The G_C failed decoding/validation; still check the plan
+                // artifacts the pattern alone determines.
+                let mut r = ValidationReport::new("plan (skipped: invalid G_C)");
+                r.ran("plan.skipped");
+                report.merge(r);
+            }
+        }
+    }
+
+    print!("{}", report.to_run_report().to_text());
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("validation failed: {} violation(s)", report.total_violations()))
+    }
 }
 
 /// `csce dot <graph.csce | --query "...">`: render to Graphviz DOT.

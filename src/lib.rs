@@ -20,10 +20,13 @@
 //! * [`datasets`] — deterministic stand-ins for the paper's data graphs
 //!   and the EMAIL-EU case study;
 //! * [`obs`] — zero-dependency observability: phase-timed spans, the
-//!   metrics registry, run reports and the built-in JSON codec.
+//!   metrics registry, run reports and the built-in JSON codec;
+//! * [`analyze`] — deep structural invariant checkers ([`analyze::Validate`])
+//!   for graphs, `G_C`, and plans, plus the `csce-lint` source linter.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+pub use csce_analyze as analyze;
 pub use csce_baselines as baselines;
 pub use csce_ccsr as ccsr;
 pub use csce_core as engine;

@@ -233,6 +233,77 @@ fn stats_json_is_valid_and_complete() {
 }
 
 #[test]
+fn validate_passes_good_inputs_and_plans() {
+    let dir = workdir();
+    let data = write(&dir, "data7.csce", DATA);
+    let ccsr = dir.join("data7.ccsr");
+    let out = bin()
+        .args(["cluster", data.to_str().unwrap(), "-o", ccsr.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Text graph: graph + G_C + plan checkers all pass.
+    let out = bin()
+        .args(["validate", data.to_str().unwrap(), "--query", "(a:0)-->(b:1)", "--variant", "v"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.starts_with("verdict") && l.ends_with("PASS")), "{text}");
+    for family in ["graph.adjacency-symmetry", "ccsr.rle-coverage", "plan.topological"] {
+        assert!(text.contains(family), "missing checker family {family}: {text}");
+    }
+
+    // Persisted G_C: decode + deep checks pass.
+    let out = bin().args(["validate", ccsr.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.starts_with("verdict") && l.ends_with("PASS")), "{text}");
+    assert!(text.contains("ccsr.persist-fixpoint"), "{text}");
+}
+
+#[test]
+fn validate_detects_corrupted_ccsr() {
+    let dir = workdir();
+    let data = write(&dir, "data8.csce", DATA);
+    let ccsr = dir.join("data8.ccsr");
+    let out = bin()
+        .args(["cluster", data.to_str().unwrap(), "-o", ccsr.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Corrupt the body (past the 8-byte magic) and expect a FAIL verdict
+    // with a non-zero exit for at least one flipped word.
+    let good = std::fs::read(&ccsr).unwrap();
+    let mut caught = 0;
+    for i in (8..good.len().saturating_sub(4)).step_by(4) {
+        let mut bad = good.clone();
+        bad[i] ^= 0x01;
+        if bad == good {
+            continue;
+        }
+        let path = dir.join("corrupt.ccsr");
+        std::fs::write(&path, &bad).unwrap();
+        let out = bin().args(["validate", path.to_str().unwrap()]).output().unwrap();
+        if !out.status.success() {
+            let text = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                text.lines().any(|l| l.starts_with("verdict") && l.ends_with("FAIL")),
+                "exit 1 must pair with FAIL: {text}"
+            );
+            assert!(
+                String::from_utf8_lossy(&out.stderr).contains("validation failed"),
+                "stderr explains the failure"
+            );
+            caught += 1;
+        }
+    }
+    assert!(caught > 0, "no corruption detected across {} flips", good.len() / 4);
+}
+
+#[test]
 fn help_prints_usage() {
     let out = bin().arg("help").output().unwrap();
     assert!(out.status.success());
