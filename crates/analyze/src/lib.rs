@@ -27,6 +27,7 @@ pub mod ccsr_check;
 pub mod graph_check;
 pub mod lint;
 pub mod plan_check;
+pub mod sched_check;
 
 /// Cap on the number of per-violation detail strings a report retains;
 /// counts stay exact beyond it, details are dropped (a badly corrupted

@@ -1,0 +1,167 @@
+//! Scheduler invariant checker: the dynamic chunk-claiming protocol the
+//! parallel match engine relies on for *exactness*.
+//!
+//! The work-stealing counter in `csce_core::exec` is correct only if, for
+//! every candidate count and worker count, the claimed chunks are
+//! pairwise disjoint and cover `0..len` exactly — one missed index drops
+//! embeddings, one double-claimed index double-counts them. Like the
+//! other checkers in this crate, the properties are re-derived from first
+//! principles (by draining real [`Scheduler`] instances, sequentially and
+//! concurrently) rather than trusting the arithmetic in the claim path.
+
+use crate::ValidationReport;
+use csce_core::{adaptive_chunk, Scheduler};
+
+/// Candidate counts exercised by the drain checks: empty, tiny, chunk
+/// boundaries (±1 around multiples of the clamp bounds) and large-ish.
+const LENS: [usize; 10] = [0, 1, 2, 31, 32, 255, 256, 257, 1009, 8192];
+
+/// Worker counts exercised by the drain checks.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Validate the chunk-size policy and the claim protocol.
+pub fn validate_scheduler() -> ValidationReport {
+    let mut report = ValidationReport::new("exec scheduler (chunk-claim protocol)");
+    check_chunk_policy(&mut report);
+    check_sequential_drain(&mut report);
+    check_concurrent_drain(&mut report);
+    check_stop_protocol(&mut report);
+    report
+}
+
+/// `adaptive_chunk` stays within its documented `[1, 256]` clamp and
+/// never exceeds a nonempty range outright unreasonably.
+fn check_chunk_policy(report: &mut ValidationReport) {
+    report.ran("sched.chunk-bounds");
+    for len in [0usize, 1, 10, 100, 10_000, 1_000_000, usize::MAX] {
+        for threads in [0usize, 1, 2, 4, 16, 1024] {
+            let chunk = adaptive_chunk(len, threads);
+            if chunk == 0 {
+                report.violation(
+                    "sched.chunk-bounds",
+                    format!("adaptive_chunk({len}, {threads}) == 0: claims would not progress"),
+                );
+            }
+            if chunk > 256 {
+                report.violation(
+                    "sched.chunk-bounds",
+                    format!("adaptive_chunk({len}, {threads}) == {chunk} exceeds the 256 clamp"),
+                );
+            }
+        }
+    }
+}
+
+/// Draining one scheduler from a single thread yields disjoint,
+/// in-order chunks covering `0..len` exactly.
+fn check_sequential_drain(report: &mut ValidationReport) {
+    report.ran("sched.drain-covers");
+    report.ran("sched.drain-disjoint");
+    for &len in &LENS {
+        for &threads in &THREADS {
+            let sched = Scheduler::new(threads, None);
+            let mut next_expected = 0usize;
+            while let Some(chunk) = sched.claim(len) {
+                if chunk.start != next_expected {
+                    report.violation(
+                        "sched.drain-disjoint",
+                        format!(
+                            "len={len} threads={threads}: claim starts at {} after {} indexes",
+                            chunk.start, next_expected
+                        ),
+                    );
+                }
+                if chunk.end > len || chunk.is_empty() {
+                    report.violation(
+                        "sched.drain-disjoint",
+                        format!("len={len} threads={threads}: bad chunk {chunk:?}"),
+                    );
+                }
+                next_expected = chunk.end;
+            }
+            if next_expected != len {
+                report.violation(
+                    "sched.drain-covers",
+                    format!("len={len} threads={threads}: drained {next_expected} of {len}"),
+                );
+            }
+        }
+    }
+}
+
+/// Draining one scheduler from `threads` real threads still partitions
+/// the range: every index claimed exactly once.
+fn check_concurrent_drain(report: &mut ValidationReport) {
+    report.ran("sched.concurrent-partition");
+    for &len in &[257usize, 1009, 8192] {
+        for &threads in &[2usize, 4] {
+            let sched = Scheduler::new(threads, None);
+            let mut claimed: Vec<Vec<usize>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            while let Some(chunk) = sched.claim(len) {
+                                mine.extend(chunk);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(mine) => claimed.push(mine),
+                        Err(_) => report
+                            .violation("sched.concurrent-partition", "claimer thread panicked"),
+                    }
+                }
+            });
+            let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+            all.sort_unstable();
+            let ok = all.len() == len && all.iter().copied().eq(0..len);
+            if !ok {
+                report.violation(
+                    "sched.concurrent-partition",
+                    format!(
+                        "len={len} threads={threads}: {} indexes claimed, expected exactly 0..{len} once each",
+                        all.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The stop flag wins exactly once and halts claiming.
+fn check_stop_protocol(report: &mut ValidationReport) {
+    report.ran("sched.stop-once");
+    let sched = Scheduler::new(4, None);
+    if sched.stopped() {
+        report.violation("sched.stop-once", "fresh scheduler reports stopped");
+    }
+    if !sched.stop_once() {
+        report.violation("sched.stop-once", "first stop_once did not win the transition");
+    }
+    if sched.stop_once() {
+        report.violation("sched.stop-once", "second stop_once also claimed the transition");
+    }
+    if !sched.stopped() {
+        report.violation("sched.stop-once", "stop flag not observable after stop_once");
+    }
+    if sched.claim(100).is_some() {
+        report.violation("sched.stop-once", "stopped scheduler still hands out chunks");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_invariants_hold() {
+        let report = validate_scheduler();
+        assert!(report.is_ok(), "{:?}", report.details());
+        assert!(report.checks_run() >= 5);
+    }
+}

@@ -1,0 +1,517 @@
+//! The matching engine: one recursion body behind [`MatchSink`].
+//!
+//! [`Executor`] grows partial embeddings one pattern vertex at a time
+//! along `Φ*`. The candidate loop lives in exactly one place
+//! ([`Executor::scan`]); what happens at full depth is decided by the
+//! sink ([`Executor::drive`]) or, for factorized counting, by the plan's
+//! [`ExecNode`] tree ([`Executor::count`]) — counting is a
+//! counting-sink specialization that additionally multiplies
+//! `H`-independent suffix components instead of enumerating their
+//! Cartesian product.
+//!
+//! The root vertex's candidate loop is also where parallelism attaches:
+//! a shared [`Scheduler`] turns it into a chunk-claiming loop
+//! ([`Executor::with_scheduler`]), while the static round-robin split
+//! ([`Executor::with_root_partition`]) remains as the ablation baseline.
+
+use super::scheduler::Scheduler;
+use super::sink::{CallbackSink, MatchSink};
+use super::stats::ExecStats;
+use super::RunConfig;
+use crate::catalog::Catalog;
+use crate::plan::{ExecNode, Plan};
+use csce_graph::graph::Orient;
+use csce_graph::util::{intersect_sorted, subtract_sorted};
+use csce_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use super::stats::DeepStats;
+
+/// One per-slot candidate cache: the parents' mapping signature under
+/// which `cands` was computed.
+#[derive(Clone, Debug, Default)]
+struct CandCache {
+    valid: bool,
+    sig: Vec<VertexId>,
+    cands: Vec<VertexId>,
+}
+
+/// The matching executor for one `(catalog, plan)` pair. Reusable across
+/// calls; state resets at each entry point.
+pub struct Executor<'a> {
+    catalog: &'a Catalog<'a>,
+    plan: &'a Plan,
+    config: RunConfig,
+    f: Vec<VertexId>,
+    used: Vec<bool>,
+    caches: Vec<CandCache>,
+    stats: ExecStats,
+    deadline: Option<Instant>,
+    stopped: bool,
+    /// Live recursion-node counter shared with a progress reporter; bumped
+    /// in batches from `check_deadline` so the hot loop never touches it.
+    progress: Option<Arc<AtomicU64>>,
+    /// Nodes already published to `progress`.
+    progress_published: u64,
+    /// Ordering restrictions `f(a) < f(b)`, indexed by the pattern vertex
+    /// at which each becomes checkable (the later one in `Φ*`).
+    checks_at: Vec<Vec<(VertexId, VertexId)>>,
+    /// Static work partition (ablation baseline): the root vertex only
+    /// tries candidates whose index `i` satisfies `i % stride == offset`.
+    root_filter: Option<(usize, usize)>,
+    /// Dynamic work partition: the root vertex claims candidate chunks
+    /// from this shared scheduler, which also carries the run-wide stop
+    /// flag and deadline.
+    scheduler: Option<Arc<Scheduler>>,
+}
+
+const UNMAPPED: VertexId = VertexId::MAX;
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog<'a>, plan: &'a Plan, config: RunConfig) -> Executor<'a> {
+        Executor {
+            catalog,
+            plan,
+            config,
+            f: vec![UNMAPPED; catalog.pattern().n()],
+            used: vec![false; catalog.data_n()],
+            caches: vec![CandCache::default(); plan.slot_count],
+            stats: ExecStats::default(),
+            deadline: None,
+            stopped: false,
+            progress: None,
+            progress_published: 0,
+            checks_at: vec![Vec::new(); catalog.pattern().n()],
+            root_filter: None,
+            scheduler: None,
+        }
+    }
+
+    /// Publish live recursion-node counts into `sink` (batched — roughly
+    /// every 4096 nodes). Used by the CLI's `--progress` heartbeat; with
+    /// multiple workers sharing one sink the counts add up.
+    pub fn with_progress(mut self, sink: Arc<AtomicU64>) -> Executor<'a> {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Restrict the root vertex to every `stride`-th candidate starting at
+    /// `offset` — the *static* work partition, kept as the ablation
+    /// baseline for the dynamic scheduler (`csce-bench`'s scheduler
+    /// benchmark compares the two). The partial counts over offsets
+    /// `0..stride` sum to the full count. Mutually exclusive with
+    /// [`Executor::with_scheduler`], which takes precedence.
+    pub fn with_root_partition(mut self, stride: usize, offset: usize) -> Executor<'a> {
+        assert!(offset < stride, "offset must be below stride");
+        self.root_filter = Some((stride, offset));
+        self
+    }
+
+    /// Share this run's root loop, stop flag and deadline with other
+    /// workers: the root vertex claims candidate chunks from `scheduler`
+    /// instead of scanning them all, and the deadline/stop checks consult
+    /// the scheduler so cancellation propagates across workers.
+    pub fn with_scheduler(mut self, scheduler: Arc<Scheduler>) -> Executor<'a> {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Impose ordering restrictions `f(a) < f(b)` on the enumeration.
+    ///
+    /// CSCE itself applies no symmetry breaking (§III / Finding 2), but
+    /// applications that want each *subgraph* once — e.g. clique counting
+    /// for higher-order analysis (§VII-G) — can supply the orbit
+    /// restrictions of the pattern's automorphism group. Restrictions are
+    /// checked per candidate; to keep SCE caches sound they are applied at
+    /// scan time, never baked into cached candidate sets.
+    pub fn with_restrictions(mut self, restrictions: &[(VertexId, VertexId)]) -> Executor<'a> {
+        for list in &mut self.checks_at {
+            list.clear();
+        }
+        for &(a, b) in restrictions {
+            let later =
+                if self.plan.pos_of[a as usize] > self.plan.pos_of[b as usize] { a } else { b };
+            self.checks_at[later as usize].push((a, b));
+        }
+        self
+    }
+
+    /// Whether candidate `v` for pattern vertex `u` satisfies every
+    /// ordering restriction checkable at `u`.
+    #[inline]
+    fn restrictions_ok(&self, u: VertexId, v: VertexId) -> bool {
+        self.checks_at[u as usize].iter().all(|&(a, b)| {
+            let fa = if a == u { v } else { self.f[a as usize] };
+            let fb = if b == u { v } else { self.f[b as usize] };
+            fa < fb
+        })
+    }
+
+    fn reset(&mut self) {
+        self.f.fill(UNMAPPED);
+        self.used.fill(false);
+        for c in &mut self.caches {
+            c.valid = false;
+        }
+        self.stats = ExecStats::default();
+        if cfg!(feature = "deep-stats") && self.config.profile {
+            self.stats.deep = Some(DeepStats::default());
+        }
+        // A scheduled (parallel) run shares one deadline computed by the
+        // driver; a standalone run computes its own.
+        self.deadline = match &self.scheduler {
+            Some(sched) => sched.deadline(),
+            None => self.config.time_limit.map(|d| Instant::now() + d),
+        };
+        self.stopped = false;
+        self.progress_published = 0;
+    }
+
+    /// Count all embeddings. Uses the factorized tree when enabled (and
+    /// when no cross-cutting ordering restrictions are imposed).
+    pub fn count(&mut self) -> u64 {
+        self.reset();
+        let has_restrictions = self.checks_at.iter().any(|l| !l.is_empty());
+        let root = if self.config.factorize && !has_restrictions {
+            self.plan.root.clone()
+        } else {
+            sequential_tree(&self.plan.order)
+        };
+        let count = self.count_node(&root, 0);
+        self.stats.embeddings = count;
+        self.publish_progress();
+        count
+    }
+
+    /// Run the full search, handing each complete embedding to `sink`.
+    /// The sink's `Break` stops this worker and, in a scheduled run,
+    /// cooperatively stops every other worker too.
+    pub fn drive<S: MatchSink>(&mut self, sink: &mut S) {
+        self.reset();
+        self.walk(0, sink);
+        self.publish_progress();
+    }
+
+    /// Enumerate embeddings, invoking `emit` with the mapping array
+    /// (`emit[i]` = data vertex of pattern vertex `i`). Return `false`
+    /// from `emit` to stop early. (A [`CallbackSink`] adapter over
+    /// [`Executor::drive`].)
+    pub fn enumerate(&mut self, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
+        let mut sink = CallbackSink::new(|f: &[VertexId]| emit(f));
+        self.drive(&mut sink);
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Push the not-yet-published node count into the progress sink.
+    fn publish_progress(&mut self) {
+        if let Some(sink) = &self.progress {
+            let delta = self.stats.nodes - self.progress_published;
+            if delta > 0 {
+                sink.fetch_add(delta, Ordering::Relaxed);
+                self.progress_published = self.stats.nodes;
+            }
+        }
+    }
+
+    /// Batched stop check (roughly every 4096 recursion nodes): publishes
+    /// progress, consults the run's deadline, and in a scheduled run
+    /// observes cancellations from sibling workers. On a shared deadline
+    /// exactly one worker wins the stop transition and flags `timed_out`,
+    /// so the merged stats report the timeout once.
+    fn check_deadline(&mut self) -> bool {
+        if self.stopped {
+            return true;
+        }
+        if self.stats.nodes.is_multiple_of(4096) {
+            self.publish_progress();
+            if let Some(sched) = &self.scheduler {
+                if sched.stopped() {
+                    self.stopped = true;
+                } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    if sched.stop_once() {
+                        self.stats.timed_out = true;
+                    }
+                    self.stopped = true;
+                }
+            } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.stats.timed_out = true;
+                self.stopped = true;
+            }
+        }
+        self.stopped
+    }
+
+    /// Scan `u`'s candidates for the current partial embedding, calling
+    /// `visit` once per admissible candidate with the mapping extended —
+    /// the one candidate loop shared by counting and sink-driven search.
+    ///
+    /// For the root vertex the iteration space is additionally shaped by
+    /// the work partition: chunk claims from the shared scheduler
+    /// (dynamic), a stride/offset filter (static baseline), or the full
+    /// range (standalone).
+    fn scan<F>(&mut self, u: VertexId, depth: usize, mut visit: F)
+    where
+        F: FnMut(&mut Self),
+    {
+        let injective = self.plan.variant.injective();
+        let (slot, len) = self.materialize_candidates(u, depth);
+        if u == self.plan.order[0] {
+            if let Some(sched) = self.scheduler.clone() {
+                while let Some(chunk) = sched.claim(len) {
+                    self.stats.chunks_claimed += 1;
+                    for i in chunk {
+                        self.try_candidate(u, depth, slot, i, injective, &mut visit);
+                        if self.stopped {
+                            return;
+                        }
+                    }
+                }
+                return;
+            }
+            if let Some((stride, offset)) = self.root_filter {
+                let mut i = offset;
+                while i < len {
+                    self.try_candidate(u, depth, slot, i, injective, &mut visit);
+                    if self.stopped {
+                        return;
+                    }
+                    i += stride;
+                }
+                return;
+            }
+        }
+        for i in 0..len {
+            self.try_candidate(u, depth, slot, i, injective, &mut visit);
+            if self.stopped {
+                return;
+            }
+        }
+    }
+
+    /// Try candidate `i` of cache slot `slot` for `u`: apply the
+    /// injectivity and ordering filters, extend the mapping, recurse via
+    /// `visit`, and restore the mapping.
+    #[inline]
+    fn try_candidate<F>(
+        &mut self,
+        u: VertexId,
+        depth: usize,
+        slot: usize,
+        i: usize,
+        injective: bool,
+        visit: &mut F,
+    ) where
+        F: FnMut(&mut Self),
+    {
+        let v = self.caches[slot].cands[i];
+        if injective && self.used[v as usize] {
+            return;
+        }
+        if !self.restrictions_ok(u, v) {
+            return;
+        }
+        self.stats.candidates_scanned += 1;
+        #[cfg(feature = "deep-stats")]
+        if let Some(deep) = self.stats.deep.as_mut() {
+            DeepStats::bump(&mut deep.depth_candidates, depth);
+        }
+        #[cfg(not(feature = "deep-stats"))]
+        let _ = depth;
+        self.f[u as usize] = v;
+        if injective {
+            self.used[v as usize] = true;
+        }
+        visit(self);
+        if injective {
+            self.used[v as usize] = false;
+        }
+        self.f[u as usize] = UNMAPPED;
+    }
+
+    /// Factorized counting over the plan's [`ExecNode`] tree. `Seq` nodes
+    /// share [`Executor::scan`] with the sink path; `Split` nodes multiply
+    /// `H`-independent component counts (saturating, like the per-node
+    /// accumulation — a homomorphic count can overflow `u64`).
+    fn count_node(&mut self, node: &ExecNode, depth: usize) -> u64 {
+        match node {
+            ExecNode::Done => 1,
+            ExecNode::Split { components } => {
+                self.stats.splits_taken += 1;
+                let mut product = 1u64;
+                for comp in components {
+                    let c = self.count_node(comp, depth);
+                    if c == 0 {
+                        return 0;
+                    }
+                    product = product.saturating_mul(c);
+                }
+                product
+            }
+            ExecNode::Seq { u, next } => {
+                self.stats.nodes += 1;
+                if self.check_deadline() {
+                    return 0;
+                }
+                let mut total = 0u64;
+                self.scan(*u, depth, |me| {
+                    total = total.saturating_add(me.count_node(next, depth + 1));
+                });
+                total
+            }
+        }
+    }
+
+    /// The sink-driven recursion body: one `Seq`-like step per depth,
+    /// with the sink deciding at full depth whether the search continues.
+    fn walk<S: MatchSink>(&mut self, depth: usize, sink: &mut S) {
+        if depth == self.plan.order.len() {
+            self.stats.embeddings = self.stats.embeddings.saturating_add(1);
+            if sink.on_embedding(&self.f).is_break() {
+                self.stopped = true;
+                if let Some(sched) = &self.scheduler {
+                    // Early stop (e.g. a filled first-k quota) propagates
+                    // to every worker of the run.
+                    sched.request_stop();
+                }
+            }
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.check_deadline() {
+            return;
+        }
+        let u = self.plan.order[depth];
+        self.scan(u, depth, |me| me.walk(depth + 1, sink));
+    }
+
+    /// Ensure `u`'s candidate set is in its cache slot for the current
+    /// partial embedding; returns `(slot, candidate count)`.
+    ///
+    /// The candidates are exactly `C(u | Φ, f)` of Definition 1 — the
+    /// injectivity filter (`C \ {v_x}`) is applied by the caller per
+    /// candidate, which is what makes the cached set reusable across
+    /// sibling mappings.
+    fn materialize_candidates(&mut self, u: VertexId, depth: usize) -> (usize, usize) {
+        let slot = self.plan.cache_slot[u as usize] as usize;
+        let parents = self.plan.dag.parents(u);
+        // Signature: the mappings of all H-parents (edge + negation).
+        let sig_matches = self.config.use_sce_cache
+            && self.caches[slot].valid
+            && self.caches[slot].sig.len() == parents.len()
+            && parents.iter().zip(&self.caches[slot].sig).all(|(&p, &s)| self.f[p as usize] == s);
+        if sig_matches {
+            self.stats.sce_cache_hits += 1;
+            #[cfg(feature = "deep-stats")]
+            if let Some(deep) = self.stats.deep.as_mut() {
+                DeepStats::bump(&mut deep.depth_sce_hits, depth);
+            }
+            let len = self.caches[slot].cands.len();
+            return (slot, len);
+        }
+        #[cfg(not(feature = "deep-stats"))]
+        let _ = depth;
+        self.stats.candidate_computations += 1;
+        let mut cands = std::mem::take(&mut self.caches[slot].cands);
+        self.compute_candidates(u, &mut cands);
+        let cache = &mut self.caches[slot];
+        cache.cands = cands;
+        cache.sig.clear();
+        cache.sig.extend(parents.iter().map(|&p| self.f[p as usize]));
+        cache.valid = true;
+        let len = cache.cands.len();
+        (slot, len)
+    }
+
+    /// Compute `C(u | Φ, f)` from scratch into `out`.
+    fn compute_candidates(&mut self, u: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let edge_parents = self.plan.dag.edge_parents(u);
+        if edge_parents.is_empty() {
+            // First vertex of the order (or an isolated pattern vertex):
+            // worst-case-optimal join seed over all incident relations.
+            out.extend(self.catalog.seeds(u));
+        } else {
+            // Gather the parent rows, smallest first, then intersect.
+            let mut rows: Vec<&[u32]> = Vec::with_capacity(edge_parents.len());
+            for &(parent, eidx) in edge_parents {
+                let parent_side = self.catalog.side_of(eidx, parent);
+                let row = self.catalog.extend_row(eidx, parent_side, self.f[parent as usize]);
+                if row.is_empty() {
+                    return;
+                }
+                rows.push(row);
+            }
+            rows.sort_unstable_by_key(|r| r.len());
+            #[cfg(feature = "deep-stats")]
+            let multi_way = rows.len() > 1;
+            out.extend_from_slice(rows[0]);
+            let mut tmp = Vec::new();
+            for row in &rows[1..] {
+                #[cfg(feature = "deep-stats")]
+                if let Some(deep) = self.stats.deep.as_mut() {
+                    deep.intersection_input += (out.len() + row.len()) as u64;
+                }
+                intersect_sorted(out, row, &mut tmp);
+                std::mem::swap(out, &mut tmp);
+                if out.is_empty() {
+                    break;
+                }
+            }
+            #[cfg(feature = "deep-stats")]
+            if multi_way {
+                if let Some(deep) = self.stats.deep.as_mut() {
+                    deep.intersection_output += out.len() as u64;
+                }
+            }
+            if out.is_empty() {
+                return;
+            }
+        }
+        // Vertex-induced filtering: a candidate is disqualified by any
+        // data arc to a matched dependency parent that the pattern pair
+        // does not have — negation for non-neighbors (empty `allowed`),
+        // extra-arc rejection for neighbors (e.g. an antiparallel arc).
+        let p = self.catalog.pattern();
+        for filt in &self.plan.induced_filters[u as usize] {
+            let w = self.f[filt.parent as usize];
+            debug_assert_ne!(w, UNMAPPED, "dependency parents precede u in Φ*");
+            let parent_label = p.label(filt.parent);
+            for cluster in self.catalog.negation_clusters(parent_label, p.label(u)) {
+                self.stats.negation_clusters += 1;
+                let key = cluster.key;
+                if key.directed {
+                    if key.src_label == parent_label
+                        && !filt.allowed.contains(&(Orient::Out, key.edge_label))
+                    {
+                        subtract_sorted(out, cluster.out_neighbors(w));
+                    }
+                    if key.dst_label == parent_label
+                        && !filt.allowed.contains(&(Orient::In, key.edge_label))
+                    {
+                        subtract_sorted(out, cluster.in_neighbors(w));
+                    }
+                } else if !filt.allowed.contains(&(Orient::Und, key.edge_label)) {
+                    subtract_sorted(out, cluster.out_neighbors(w));
+                }
+                if out.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A purely sequential execution tree over `Φ*` (factorization disabled).
+fn sequential_tree(order: &[VertexId]) -> ExecNode {
+    let mut node = ExecNode::Done;
+    for &u in order.iter().rev() {
+        node = ExecNode::Seq { u, next: Box::new(node) };
+    }
+    node
+}

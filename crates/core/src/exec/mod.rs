@@ -13,22 +13,37 @@
 //!   reused while it holds (injectivity is re-filtered per candidate, as
 //!   Definition 1's `C \ {v_x}` prescribes). NEC-equivalent vertices with
 //!   identical parents share one cache slot.
-//! * **factorized counting** — in counting mode the plan's [`ExecNode`]
-//!   tree multiplies the counts of `H`-independent suffix components
-//!   instead of enumerating their Cartesian product.
+//! * **factorized counting** — in counting mode the plan's
+//!   [`ExecNode`](crate::plan::ExecNode) tree multiplies the counts of
+//!   `H`-independent suffix components instead of enumerating their
+//!   Cartesian product.
+//!
+//! The module is layered:
+//!
+//! * [`engine`] — the recursion itself ([`Executor`]): one candidate loop
+//!   serving factorized counting and sink-driven search alike.
+//! * [`sink`] — [`MatchSink`] and its implementations: what happens to
+//!   each complete embedding (count, collect, first-`k`, callback).
+//! * [`scheduler`] — the parallel run: dynamic chunked claiming of root
+//!   candidates, cooperative cancellation, panic containment, and the
+//!   public parallel entry points ([`count_parallel`],
+//!   [`collect_parallel`], [`enumerate_parallel`]).
+//! * [`stats`] — the counters every run reports ([`ExecStats`]).
 
+mod engine;
+mod scheduler;
+mod sink;
 mod stats;
 
+pub use engine::Executor;
+pub use scheduler::{
+    adaptive_chunk, collect_parallel, count_parallel, count_parallel_observed, enumerate_parallel,
+    run_parallel, sink_parallel, CollectRun, ExecError, ParallelRun, Scheduler,
+};
+pub use sink::{CallbackSink, CollectSink, CountSink, FirstKSink, MatchSink};
 pub use stats::{DeepStats, ExecStats};
 
-use crate::catalog::Catalog;
-use crate::plan::{ExecNode, Plan};
-use csce_graph::graph::Orient;
-use csce_graph::util::{intersect_sorted, subtract_sorted};
-use csce_graph::VertexId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Runtime options.
 #[derive(Clone, Copy, Debug)]
@@ -39,7 +54,8 @@ pub struct RunConfig {
     /// Use the factorized execution tree in counting mode.
     pub factorize: bool,
     /// Abort after this much wall time (counts and stats are then partial
-    /// and `stats.timed_out` is set).
+    /// and `stats.timed_out` is set). In a parallel run the deadline is
+    /// shared: one worker hitting it stops all of them.
     pub time_limit: Option<Duration>,
     /// Collect [`DeepStats`] (per-depth + intersection counters). Only
     /// effective when the `deep-stats` feature is compiled in; the hot
@@ -53,477 +69,14 @@ impl Default for RunConfig {
     }
 }
 
-/// One per-slot candidate cache: the parents' mapping signature under
-/// which `cands` was computed.
-#[derive(Clone, Debug, Default)]
-struct CandCache {
-    valid: bool,
-    sig: Vec<VertexId>,
-    cands: Vec<VertexId>,
-}
-
-/// The matching executor for one `(catalog, plan)` pair. Reusable across
-/// calls; state resets at each entry point.
-pub struct Executor<'a> {
-    catalog: &'a Catalog<'a>,
-    plan: &'a Plan,
-    config: RunConfig,
-    f: Vec<VertexId>,
-    used: Vec<bool>,
-    caches: Vec<CandCache>,
-    stats: ExecStats,
-    deadline: Option<Instant>,
-    stopped: bool,
-    /// Live recursion-node counter shared with a progress reporter; bumped
-    /// in batches from `check_deadline` so the hot loop never touches it.
-    progress: Option<Arc<AtomicU64>>,
-    /// Nodes already published to `progress`.
-    progress_published: u64,
-    /// Ordering restrictions `f(a) < f(b)`, indexed by the pattern vertex
-    /// at which each becomes checkable (the later one in `Φ*`).
-    checks_at: Vec<Vec<(VertexId, VertexId)>>,
-    /// Work partition for parallel counting: the root vertex only tries
-    /// candidates whose index `i` satisfies `i % stride == offset`.
-    root_filter: Option<(usize, usize)>,
-}
-
-const UNMAPPED: VertexId = VertexId::MAX;
-
-impl<'a> Executor<'a> {
-    pub fn new(catalog: &'a Catalog<'a>, plan: &'a Plan, config: RunConfig) -> Executor<'a> {
-        Executor {
-            catalog,
-            plan,
-            config,
-            f: vec![UNMAPPED; catalog.pattern().n()],
-            used: vec![false; catalog.data_n()],
-            caches: vec![CandCache::default(); plan.slot_count],
-            stats: ExecStats::default(),
-            deadline: None,
-            stopped: false,
-            progress: None,
-            progress_published: 0,
-            checks_at: vec![Vec::new(); catalog.pattern().n()],
-            root_filter: None,
-        }
-    }
-
-    /// Publish live recursion-node counts into `sink` (batched — roughly
-    /// every 4096 nodes). Used by the CLI's `--progress` heartbeat; with
-    /// multiple workers sharing one sink the counts add up.
-    pub fn with_progress(mut self, sink: Arc<AtomicU64>) -> Executor<'a> {
-        self.progress = Some(sink);
-        self
-    }
-
-    /// Restrict the root vertex to every `stride`-th candidate starting at
-    /// `offset` — the work partition used by [`count_parallel`]. The
-    /// partial counts over offsets `0..stride` sum to the full count.
-    pub fn with_root_partition(mut self, stride: usize, offset: usize) -> Executor<'a> {
-        assert!(offset < stride, "offset must be below stride");
-        self.root_filter = Some((stride, offset));
-        self
-    }
-
-    /// Impose ordering restrictions `f(a) < f(b)` on the enumeration.
-    ///
-    /// CSCE itself applies no symmetry breaking (§III / Finding 2), but
-    /// applications that want each *subgraph* once — e.g. clique counting
-    /// for higher-order analysis (§VII-G) — can supply the orbit
-    /// restrictions of the pattern's automorphism group. Restrictions are
-    /// checked per candidate; to keep SCE caches sound they are applied at
-    /// scan time, never baked into cached candidate sets.
-    pub fn with_restrictions(mut self, restrictions: &[(VertexId, VertexId)]) -> Executor<'a> {
-        for list in &mut self.checks_at {
-            list.clear();
-        }
-        for &(a, b) in restrictions {
-            let later =
-                if self.plan.pos_of[a as usize] > self.plan.pos_of[b as usize] { a } else { b };
-            self.checks_at[later as usize].push((a, b));
-        }
-        self
-    }
-
-    /// Whether candidate `v` for pattern vertex `u` satisfies every
-    /// ordering restriction checkable at `u`.
-    #[inline]
-    fn restrictions_ok(&self, u: VertexId, v: VertexId) -> bool {
-        self.checks_at[u as usize].iter().all(|&(a, b)| {
-            let fa = if a == u { v } else { self.f[a as usize] };
-            let fb = if b == u { v } else { self.f[b as usize] };
-            fa < fb
-        })
-    }
-
-    fn reset(&mut self) {
-        self.f.fill(UNMAPPED);
-        self.used.fill(false);
-        for c in &mut self.caches {
-            c.valid = false;
-        }
-        self.stats = ExecStats::default();
-        if cfg!(feature = "deep-stats") && self.config.profile {
-            self.stats.deep = Some(DeepStats::default());
-        }
-        self.deadline = self.config.time_limit.map(|d| Instant::now() + d);
-        self.stopped = false;
-        self.progress_published = 0;
-    }
-
-    /// Count all embeddings. Uses the factorized tree when enabled (and
-    /// when no cross-cutting ordering restrictions are imposed).
-    pub fn count(&mut self) -> u64 {
-        self.reset();
-        let has_restrictions = self.checks_at.iter().any(|l| !l.is_empty());
-        let root = if self.config.factorize && !has_restrictions {
-            self.plan.root.clone()
-        } else {
-            sequential_tree(&self.plan.order)
-        };
-        let count = self.count_node(&root, 0);
-        self.stats.embeddings = count;
-        self.publish_progress();
-        count
-    }
-
-    /// Enumerate embeddings, invoking `emit` with the mapping array
-    /// (`emit[i]` = data vertex of pattern vertex `i`). Return `false`
-    /// from `emit` to stop early.
-    pub fn enumerate(&mut self, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
-        self.reset();
-        self.enumerate_depth(0, emit);
-        self.publish_progress();
-    }
-
-    /// Statistics of the last run.
-    pub fn stats(&self) -> &ExecStats {
-        &self.stats
-    }
-
-    /// Push the not-yet-published node count into the progress sink.
-    fn publish_progress(&mut self) {
-        if let Some(sink) = &self.progress {
-            let delta = self.stats.nodes - self.progress_published;
-            if delta > 0 {
-                sink.fetch_add(delta, Ordering::Relaxed);
-                self.progress_published = self.stats.nodes;
-            }
-        }
-    }
-
-    fn check_deadline(&mut self) -> bool {
-        if self.stopped {
-            return true;
-        }
-        if self.stats.nodes.is_multiple_of(4096) {
-            self.publish_progress();
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    self.stats.timed_out = true;
-                    self.stopped = true;
-                }
-            }
-        }
-        self.stopped
-    }
-
-    fn count_node(&mut self, node: &ExecNode, depth: usize) -> u64 {
-        match node {
-            ExecNode::Done => 1,
-            ExecNode::Split { components } => {
-                self.stats.splits_taken += 1;
-                let mut product = 1u64;
-                for comp in components {
-                    let c = self.count_node(comp, depth);
-                    if c == 0 {
-                        return 0;
-                    }
-                    product = product.saturating_mul(c);
-                }
-                product
-            }
-            ExecNode::Seq { u, next } => {
-                self.stats.nodes += 1;
-                if self.check_deadline() {
-                    return 0;
-                }
-                let u = *u;
-                let injective = self.plan.variant.injective();
-                let (slot, len) = self.materialize_candidates(u, depth);
-                let root_filter = if u == self.plan.order[0] { self.root_filter } else { None };
-                let mut total = 0u64;
-                for i in 0..len {
-                    if let Some((stride, offset)) = root_filter {
-                        if i % stride != offset {
-                            continue;
-                        }
-                    }
-                    let v = self.caches[slot].cands[i];
-                    if injective && self.used[v as usize] {
-                        continue;
-                    }
-                    if !self.restrictions_ok(u, v) {
-                        continue;
-                    }
-                    self.stats.candidates_scanned += 1;
-                    #[cfg(feature = "deep-stats")]
-                    if let Some(deep) = self.stats.deep.as_mut() {
-                        DeepStats::bump(&mut deep.depth_candidates, depth);
-                    }
-                    self.f[u as usize] = v;
-                    if injective {
-                        self.used[v as usize] = true;
-                    }
-                    total += self.count_node(next, depth + 1);
-                    if injective {
-                        self.used[v as usize] = false;
-                    }
-                    self.f[u as usize] = UNMAPPED;
-                    if self.stopped {
-                        break;
-                    }
-                }
-                total
-            }
-        }
-    }
-
-    fn enumerate_depth(&mut self, depth: usize, emit: &mut dyn FnMut(&[VertexId]) -> bool) {
-        if depth == self.plan.order.len() {
-            self.stats.embeddings += 1;
-            if !emit(&self.f) {
-                self.stopped = true;
-            }
-            return;
-        }
-        self.stats.nodes += 1;
-        if self.check_deadline() {
-            return;
-        }
-        let u = self.plan.order[depth];
-        let injective = self.plan.variant.injective();
-        let (slot, len) = self.materialize_candidates(u, depth);
-        for i in 0..len {
-            let v = self.caches[slot].cands[i];
-            if injective && self.used[v as usize] {
-                continue;
-            }
-            if !self.restrictions_ok(u, v) {
-                continue;
-            }
-            self.stats.candidates_scanned += 1;
-            #[cfg(feature = "deep-stats")]
-            if let Some(deep) = self.stats.deep.as_mut() {
-                DeepStats::bump(&mut deep.depth_candidates, depth);
-            }
-            self.f[u as usize] = v;
-            if injective {
-                self.used[v as usize] = true;
-            }
-            self.enumerate_depth(depth + 1, emit);
-            if injective {
-                self.used[v as usize] = false;
-            }
-            self.f[u as usize] = UNMAPPED;
-            if self.stopped {
-                return;
-            }
-        }
-    }
-
-    /// Ensure `u`'s candidate set is in its cache slot for the current
-    /// partial embedding; returns `(slot, candidate count)`.
-    ///
-    /// The candidates are exactly `C(u | Φ, f)` of Definition 1 — the
-    /// injectivity filter (`C \ {v_x}`) is applied by the caller per
-    /// candidate, which is what makes the cached set reusable across
-    /// sibling mappings.
-    fn materialize_candidates(&mut self, u: VertexId, depth: usize) -> (usize, usize) {
-        let slot = self.plan.cache_slot[u as usize] as usize;
-        let parents = self.plan.dag.parents(u);
-        // Signature: the mappings of all H-parents (edge + negation).
-        let sig_matches = self.config.use_sce_cache
-            && self.caches[slot].valid
-            && self.caches[slot].sig.len() == parents.len()
-            && parents.iter().zip(&self.caches[slot].sig).all(|(&p, &s)| self.f[p as usize] == s);
-        if sig_matches {
-            self.stats.sce_cache_hits += 1;
-            #[cfg(feature = "deep-stats")]
-            if let Some(deep) = self.stats.deep.as_mut() {
-                DeepStats::bump(&mut deep.depth_sce_hits, depth);
-            }
-            let len = self.caches[slot].cands.len();
-            return (slot, len);
-        }
-        #[cfg(not(feature = "deep-stats"))]
-        let _ = depth;
-        self.stats.candidate_computations += 1;
-        let mut cands = std::mem::take(&mut self.caches[slot].cands);
-        self.compute_candidates(u, &mut cands);
-        let cache = &mut self.caches[slot];
-        cache.cands = cands;
-        cache.sig.clear();
-        cache.sig.extend(parents.iter().map(|&p| self.f[p as usize]));
-        cache.valid = true;
-        let len = cache.cands.len();
-        (slot, len)
-    }
-
-    /// Compute `C(u | Φ, f)` from scratch into `out`.
-    fn compute_candidates(&mut self, u: VertexId, out: &mut Vec<VertexId>) {
-        out.clear();
-        let edge_parents = self.plan.dag.edge_parents(u);
-        if edge_parents.is_empty() {
-            // First vertex of the order (or an isolated pattern vertex):
-            // worst-case-optimal join seed over all incident relations.
-            out.extend(self.catalog.seeds(u));
-        } else {
-            // Gather the parent rows, smallest first, then intersect.
-            let mut rows: Vec<&[u32]> = Vec::with_capacity(edge_parents.len());
-            for &(parent, eidx) in edge_parents {
-                let parent_side = self.catalog.side_of(eidx, parent);
-                let row = self.catalog.extend_row(eidx, parent_side, self.f[parent as usize]);
-                if row.is_empty() {
-                    return;
-                }
-                rows.push(row);
-            }
-            rows.sort_unstable_by_key(|r| r.len());
-            #[cfg(feature = "deep-stats")]
-            let multi_way = rows.len() > 1;
-            out.extend_from_slice(rows[0]);
-            let mut tmp = Vec::new();
-            for row in &rows[1..] {
-                #[cfg(feature = "deep-stats")]
-                if let Some(deep) = self.stats.deep.as_mut() {
-                    deep.intersection_input += (out.len() + row.len()) as u64;
-                }
-                intersect_sorted(out, row, &mut tmp);
-                std::mem::swap(out, &mut tmp);
-                if out.is_empty() {
-                    break;
-                }
-            }
-            #[cfg(feature = "deep-stats")]
-            if multi_way {
-                if let Some(deep) = self.stats.deep.as_mut() {
-                    deep.intersection_output += out.len() as u64;
-                }
-            }
-            if out.is_empty() {
-                return;
-            }
-        }
-        // Vertex-induced filtering: a candidate is disqualified by any
-        // data arc to a matched dependency parent that the pattern pair
-        // does not have — negation for non-neighbors (empty `allowed`),
-        // extra-arc rejection for neighbors (e.g. an antiparallel arc).
-        let p = self.catalog.pattern();
-        for filt in &self.plan.induced_filters[u as usize] {
-            let w = self.f[filt.parent as usize];
-            debug_assert_ne!(w, UNMAPPED, "dependency parents precede u in Φ*");
-            let parent_label = p.label(filt.parent);
-            for cluster in self.catalog.negation_clusters(parent_label, p.label(u)) {
-                self.stats.negation_clusters += 1;
-                let key = cluster.key;
-                if key.directed {
-                    if key.src_label == parent_label
-                        && !filt.allowed.contains(&(Orient::Out, key.edge_label))
-                    {
-                        subtract_sorted(out, cluster.out_neighbors(w));
-                    }
-                    if key.dst_label == parent_label
-                        && !filt.allowed.contains(&(Orient::In, key.edge_label))
-                    {
-                        subtract_sorted(out, cluster.in_neighbors(w));
-                    }
-                } else if !filt.allowed.contains(&(Orient::Und, key.edge_label)) {
-                    subtract_sorted(out, cluster.out_neighbors(w));
-                }
-                if out.is_empty() {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Outcome of a parallel count: the total plus the merged per-worker
-/// counters ([`ExecStats::merge`] — counters add, `timed_out` is sticky,
-/// so a partial result is never silently reported as complete).
-#[derive(Clone, Debug)]
-pub struct ParallelRun {
-    pub count: u64,
-    pub stats: ExecStats,
-}
-
-/// Count embeddings using `threads` worker threads, partitioning the root
-/// vertex's candidates round-robin (each partial count is an independent
-/// [`Executor`] run; partials sum exactly to the sequential count).
-///
-/// The paper evaluates single-threaded matching; this is the natural
-/// data-parallel extension its execution model admits — SCE caches and
-/// factorized counting work unchanged inside each partition. A shared
-/// `progress` sink, if given, accumulates recursion nodes across workers.
-pub fn count_parallel(
-    star: &csce_ccsr::GcStar<'_>,
-    pattern: &csce_graph::Graph,
-    plan: &Plan,
-    config: RunConfig,
-    threads: usize,
-    progress: Option<Arc<AtomicU64>>,
-) -> ParallelRun {
-    assert!(threads >= 1);
-    let worker = |offset: usize| {
-        let catalog = Catalog::new(pattern, star);
-        let mut exec = Executor::new(&catalog, plan, config);
-        if threads > 1 {
-            exec = exec.with_root_partition(threads, offset);
-        }
-        if let Some(sink) = &progress {
-            exec = exec.with_progress(Arc::clone(sink));
-        }
-        let count = exec.count();
-        (count, exec.stats().clone())
-    };
-    if threads == 1 {
-        let (count, stats) = worker(0);
-        return ParallelRun { count, stats };
-    }
-    std::thread::scope(|scope| {
-        let worker = &worker;
-        let handles: Vec<_> =
-            (0..threads).map(|offset| scope.spawn(move || worker(offset))).collect();
-        let mut total = 0u64;
-        let mut stats = ExecStats::default();
-        for h in handles {
-            let (count, worker_stats) = h.join().expect("worker panicked");
-            total += count;
-            stats.merge(&worker_stats);
-        }
-        // Merged `embeddings` double-counts nothing, but keep it equal to
-        // the summed total for the invariant embeddings == count.
-        stats.embeddings = total;
-        ParallelRun { count: total, stats }
-    })
-}
-
-/// A purely sequential execution tree over `Φ*` (factorization disabled).
-fn sequential_tree(order: &[VertexId]) -> ExecNode {
-    let mut node = ExecNode::Done;
-    for &u in order.iter().rev() {
-        node = ExecNode::Seq { u, next: Box::new(node) };
-    }
-    node
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::Catalog;
     use crate::plan::{Planner, PlannerConfig};
     use csce_ccsr::{build_ccsr, read_csr, Ccsr};
-    use csce_graph::{oracle_count, Graph, GraphBuilder, Variant, NO_LABEL};
+    use csce_graph::{oracle_count, Graph, GraphBuilder, Variant, VertexId, NO_LABEL};
+    use std::time::Duration;
 
     fn run(g: &Graph, p: &Graph, variant: Variant, config: RunConfig) -> (u64, ExecStats) {
         let gc: Ccsr = build_ccsr(g);
@@ -656,6 +209,32 @@ mod tests {
     }
 
     #[test]
+    fn sinks_drive_the_same_search() {
+        let g = paw();
+        let p = path3();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+        let oracle = oracle_count(&g, &p, Variant::EdgeInduced);
+
+        let mut exec = Executor::new(&catalog, &plan, RunConfig::default());
+        let mut count = CountSink::default();
+        exec.drive(&mut count);
+        assert_eq!(count.count, oracle);
+
+        let mut collect = CollectSink::default();
+        exec.drive(&mut collect);
+        assert_eq!(collect.embeddings.len() as u64, oracle);
+
+        let mut first2 = FirstKSink::new(2);
+        exec.drive(&mut first2);
+        assert_eq!(first2.embeddings.len(), 2);
+        // The first-k prefix is a prefix of the full enumeration order.
+        assert_eq!(first2.embeddings[..], collect.embeddings[..2]);
+    }
+
+    #[test]
     fn vertex_induced_negation_filters() {
         let g = paw();
         let p = path3();
@@ -747,10 +326,12 @@ mod tests {
             let seq_scanned = seq_exec.stats().candidates_scanned;
             for threads in [1usize, 2, 3, 7] {
                 let parallel =
-                    count_parallel(&star, &p, &plan, RunConfig::default(), threads, None);
+                    count_parallel(&star, &p, &plan, RunConfig::default(), threads, None)
+                        .expect("no worker panicked");
                 assert_eq!(parallel.count, sequential, "{variant} with {threads} threads");
                 assert_eq!(parallel.stats.embeddings, parallel.count);
                 assert!(!parallel.stats.timed_out);
+                assert_eq!(parallel.workers.len(), threads);
                 // Workers partition only the root loop; below the root the
                 // same subtrees are explored, so merged scans can exceed —
                 // but never undershoot — the sequential count... except
@@ -759,6 +340,9 @@ mod tests {
                 // threads == 1.
                 if threads == 1 {
                     assert_eq!(parallel.stats.candidates_scanned, seq_scanned);
+                    assert_eq!(parallel.stats.chunks_claimed, 0, "no scheduler when inline");
+                } else if parallel.count > 0 {
+                    assert!(parallel.stats.chunks_claimed > 0, "workers claim chunks");
                 }
             }
         }
@@ -781,6 +365,69 @@ mod tests {
             })
             .sum();
         assert_eq!(parts, full);
+    }
+
+    #[test]
+    fn scheduled_executors_sum_exactly() {
+        // Drain one shared scheduler with sequential executors: the
+        // claimed chunks must partition the root candidates, so partial
+        // counts sum to the full count.
+        use std::sync::Arc;
+        let g = paw();
+        let p = path3();
+        let gc = build_ccsr(&g);
+        let star = read_csr(&gc, &p, Variant::EdgeInduced);
+        let catalog = Catalog::new(&p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+        let full = Executor::new(&catalog, &plan, RunConfig::default()).count();
+        let sched = Arc::new(Scheduler::new(3, None));
+        let mut sum = 0u64;
+        let mut claimed = 0u64;
+        for _ in 0..3 {
+            let mut exec = Executor::new(&catalog, &plan, RunConfig::default())
+                .with_scheduler(Arc::clone(&sched));
+            sum += exec.count();
+            claimed += exec.stats().chunks_claimed;
+        }
+        assert_eq!(sum, full);
+        assert!(claimed > 0);
+        // The cursor is spent: a fourth executor on the same scheduler
+        // claims nothing and counts nothing.
+        let mut late =
+            Executor::new(&catalog, &plan, RunConfig::default()).with_scheduler(Arc::clone(&sched));
+        assert_eq!(late.count(), 0);
+    }
+
+    #[test]
+    fn collect_parallel_matches_sequential_set() {
+        let g = paw();
+        let p = path3();
+        let gc = build_ccsr(&g);
+        for variant in Variant::ALL {
+            let star = read_csr(&gc, &p, variant);
+            let catalog = Catalog::new(&p, &star);
+            let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+            let mut seq = Executor::new(&catalog, &plan, RunConfig::default());
+            let mut expected: Vec<Vec<VertexId>> = Vec::new();
+            seq.enumerate(&mut |f| {
+                expected.push(f.to_vec());
+                true
+            });
+            expected.sort_unstable();
+            for threads in [1usize, 2, 4] {
+                let run = collect_parallel(
+                    &star,
+                    &p,
+                    &plan,
+                    RunConfig::default(),
+                    threads,
+                    None,
+                    &csce_obs::Recorder::disabled(),
+                )
+                .expect("no worker panicked");
+                assert_eq!(run.embeddings, expected, "{variant} with {threads} threads");
+            }
+        }
     }
 
     #[test]

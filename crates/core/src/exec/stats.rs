@@ -20,6 +20,9 @@ pub struct ExecStats {
     pub splits_taken: u64,
     /// Negation clusters consulted by vertex-induced filtering.
     pub negation_clusters: u64,
+    /// Root-candidate chunks claimed from the shared scheduler (0 in
+    /// standalone and static-partition runs).
+    pub chunks_claimed: u64,
     /// The time limit fired; results are partial.
     pub timed_out: bool,
     /// Per-depth and intersection profiling, present when the run asked
@@ -78,17 +81,21 @@ impl ExecStats {
     }
 
     /// Combine another run's counters into this one — the reduction used
-    /// for per-worker stats in parallel counting. Counters add, per-depth
-    /// series add element-wise, and `timed_out` is sticky (any worker
-    /// timing out makes the merged result partial).
+    /// for per-worker stats in parallel runs. Counters saturate-add (the
+    /// per-worker counters already saturate, so the merge must not
+    /// reintroduce overflow), per-depth series add element-wise, and
+    /// `timed_out` is sticky (any worker timing out makes the merged
+    /// result partial).
     pub fn merge(&mut self, other: &ExecStats) {
-        self.embeddings += other.embeddings;
-        self.sce_cache_hits += other.sce_cache_hits;
-        self.candidate_computations += other.candidate_computations;
-        self.candidates_scanned += other.candidates_scanned;
-        self.nodes += other.nodes;
-        self.splits_taken += other.splits_taken;
-        self.negation_clusters += other.negation_clusters;
+        self.embeddings = self.embeddings.saturating_add(other.embeddings);
+        self.sce_cache_hits = self.sce_cache_hits.saturating_add(other.sce_cache_hits);
+        self.candidate_computations =
+            self.candidate_computations.saturating_add(other.candidate_computations);
+        self.candidates_scanned = self.candidates_scanned.saturating_add(other.candidates_scanned);
+        self.nodes = self.nodes.saturating_add(other.nodes);
+        self.splits_taken = self.splits_taken.saturating_add(other.splits_taken);
+        self.negation_clusters = self.negation_clusters.saturating_add(other.negation_clusters);
+        self.chunks_claimed = self.chunks_claimed.saturating_add(other.chunks_claimed);
         self.timed_out |= other.timed_out;
         if let Some(theirs) = &other.deep {
             self.deep.get_or_insert_with(DeepStats::default).merge(theirs);
@@ -105,6 +112,7 @@ impl ExecStats {
         m.set_counter("exec.nodes", self.nodes);
         m.set_counter("exec.splits_taken", self.splits_taken);
         m.set_counter("exec.negation_clusters", self.negation_clusters);
+        m.set_counter("exec.chunks_claimed", self.chunks_claimed);
         m.set_counter("exec.timed_out", self.timed_out as u64);
         m.set_gauge("exec.sce_hit_rate", self.sce_hit_rate());
         if let Some(deep) = &self.deep {
@@ -152,6 +160,15 @@ mod tests {
         assert_eq!(deep.depth_candidates, vec![1, 2]);
         a.merge(&b);
         assert_eq!(a.deep.as_ref().unwrap().intersection_input, 14);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = ExecStats { nodes: u64::MAX - 1, ..Default::default() };
+        let b = ExecStats { nodes: 5, chunks_claimed: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.nodes, u64::MAX);
+        assert_eq!(a.chunks_claimed, 2);
     }
 
     #[test]

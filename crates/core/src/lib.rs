@@ -47,7 +47,11 @@ pub mod exec;
 pub mod plan;
 
 pub use catalog::Catalog;
-pub use exec::{count_parallel, DeepStats, ExecStats, Executor, ParallelRun, RunConfig};
+pub use exec::{
+    adaptive_chunk, collect_parallel, count_parallel, enumerate_parallel, CallbackSink, CollectRun,
+    CollectSink, CountSink, DeepStats, ExecError, ExecStats, Executor, FirstKSink, MatchSink,
+    ParallelRun, RunConfig, Scheduler,
+};
 pub use plan::{Plan, Planner, PlannerConfig, SceAnalysis};
 
 use csce_ccsr::{build_ccsr, read_csr, Ccsr, ReadStats};
@@ -64,8 +68,11 @@ use std::time::{Duration, Instant};
 pub struct QueryOutput {
     /// Number of embeddings found.
     pub count: u64,
-    /// Execution counters.
+    /// Execution counters (per-worker merge for parallel runs).
     pub stats: ExecStats,
+    /// Unmerged per-worker counters, indexed by worker id — the
+    /// load-balance view (`len() == threads`).
+    pub workers: Vec<ExecStats>,
     /// Static SCE analysis of the chosen plan.
     pub sce: SceAnalysis,
     /// Time spent in `ReadCSR` (cluster selection + decompression).
@@ -135,13 +142,19 @@ impl Engine {
         planner: PlannerConfig,
         run: RunConfig,
     ) -> QueryOutput {
-        self.run_observed(p, variant, planner, run, &Recorder::disabled(), 1, None)
+        match self.run_observed(p, variant, planner, run, &Recorder::disabled(), 1, None) {
+            Ok(out) => out,
+            // Single-threaded runs execute inline — no worker to panic.
+            Err(err) => unreachable!("sequential run failed: {err}"),
+        }
     }
 
     /// [`Engine::run`] with observability: phase spans land in `recorder`
-    /// (`read → plan{gcf,dag,descendant,ldsf,nec} → execute`), `threads`
-    /// workers split the root loop, and a `progress` sink — if given —
-    /// receives live recursion-node counts for heartbeat reporting.
+    /// (`read → plan{gcf,dag,descendant,ldsf,nec} → execute/worker`),
+    /// `threads` workers claim root-candidate chunks from a shared
+    /// scheduler, and a `progress` sink — if given — receives live
+    /// recursion-node counts for heartbeat reporting. A worker panic
+    /// stops the remaining workers and comes back as [`ExecError`].
     #[allow(clippy::too_many_arguments)]
     pub fn run_observed(
         &self,
@@ -152,7 +165,7 @@ impl Engine {
         recorder: &Recorder,
         threads: usize,
         progress: Option<Arc<AtomicU64>>,
-    ) -> QueryOutput {
+    ) -> Result<QueryOutput, ExecError> {
         let t0 = Instant::now();
         let star = recorder.time("read", || read_csr(&self.ccsr, p, variant));
         let read_time = t0.elapsed();
@@ -166,20 +179,78 @@ impl Engine {
         };
         let plan_time = t1.elapsed();
         let t2 = Instant::now();
-        let _exec_span = recorder.span("execute");
-        let result = exec::count_parallel(&star, p, &plan, run, threads.max(1), progress);
-        drop(_exec_span);
+        let result = {
+            let _exec_span = recorder.span("execute");
+            exec::count_parallel_observed(&star, p, &plan, run, threads.max(1), progress, recorder)?
+        };
         let exec_time = t2.elapsed();
-        QueryOutput {
+        Ok(QueryOutput {
             count: result.count,
             stats: result.stats,
+            workers: result.workers,
             sce: plan.sce.clone(),
             read_time,
             plan_time,
             exec_time,
             read_bytes,
             read_stats,
-        }
+        })
+    }
+
+    /// Enumerate embeddings across `threads` workers with full per-stage
+    /// observability, returning the timing decomposition plus the sorted
+    /// embeddings (so the result is independent of worker interleaving).
+    /// With `limit`, collection stops cooperatively once `min(limit,
+    /// total)` embeddings are admitted — *which* embeddings win the quota
+    /// depends on scheduling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enumerate_observed(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        planner: PlannerConfig,
+        run: RunConfig,
+        recorder: &Recorder,
+        threads: usize,
+        progress: Option<Arc<AtomicU64>>,
+        limit: Option<usize>,
+    ) -> Result<(QueryOutput, Vec<Vec<VertexId>>), ExecError> {
+        let t0 = Instant::now();
+        let star = recorder.time("read", || read_csr(&self.ccsr, p, variant));
+        let read_time = t0.elapsed();
+        let read_bytes = star.heap_bytes();
+        let read_stats = star.read_stats();
+        let catalog = Catalog::new(p, &star);
+        let t1 = Instant::now();
+        let plan = {
+            let _span = recorder.span("plan");
+            Planner::new(planner).plan_recorded(&catalog, variant, recorder)
+        };
+        let plan_time = t1.elapsed();
+        let t2 = Instant::now();
+        let threads = threads.max(1);
+        let result = {
+            let _exec_span = recorder.span("execute");
+            match limit {
+                Some(k) => {
+                    exec::enumerate_parallel(&star, p, &plan, run, threads, progress, recorder, k)?
+                }
+                None => exec::collect_parallel(&star, p, &plan, run, threads, progress, recorder)?,
+            }
+        };
+        let exec_time = t2.elapsed();
+        let output = QueryOutput {
+            count: result.embeddings.len() as u64,
+            stats: result.stats,
+            workers: result.workers,
+            sce: plan.sce.clone(),
+            read_time,
+            plan_time,
+            exec_time,
+            read_bytes,
+            read_stats,
+        };
+        Ok((output, result.embeddings))
     }
 
     /// Generate (and return) just the plan, without executing — the
@@ -211,21 +282,58 @@ impl Engine {
     }
 
     /// Count all embeddings across `threads` worker threads (root
-    /// candidates partitioned round-robin). Exact — partials sum to the
-    /// sequential count — and the returned stats are the per-worker merge,
-    /// so `timed_out` reflects any worker hitting `run.time_limit`.
+    /// candidates claimed in chunks from a shared scheduler). Exact —
+    /// partials sum to the sequential count — and the returned stats are
+    /// the per-worker merge, so `timed_out` reflects the shared deadline
+    /// firing. A worker panic stops the run and returns [`ExecError`].
     pub fn count_parallel(
         &self,
         p: &Graph,
         variant: Variant,
         threads: usize,
         run: RunConfig,
-    ) -> ParallelRun {
+    ) -> Result<ParallelRun, ExecError> {
         let star = read_csr(&self.ccsr, p, variant);
         let catalog = Catalog::new(p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
         drop(catalog);
         exec::count_parallel(&star, p, &plan, run, threads, None)
+    }
+
+    /// Enumerate *all* embeddings across `threads` workers, sorted. The
+    /// parallel counterpart of [`Engine::embeddings`]: workers claim
+    /// disjoint root chunks, so the merged set is duplicate-free by
+    /// construction and identical to the sequential enumeration.
+    pub fn collect_parallel(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        threads: usize,
+        run: RunConfig,
+    ) -> Result<CollectRun, ExecError> {
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        drop(catalog);
+        exec::collect_parallel(&star, p, &plan, run, threads, None, &Recorder::disabled())
+    }
+
+    /// Enumerate the first `limit` embeddings across `threads` workers
+    /// with cooperative early stop: exactly `min(limit, total)` come back
+    /// (sorted), no matter how the workers interleave.
+    pub fn enumerate_parallel(
+        &self,
+        p: &Graph,
+        variant: Variant,
+        threads: usize,
+        run: RunConfig,
+        limit: usize,
+    ) -> Result<CollectRun, ExecError> {
+        let star = read_csr(&self.ccsr, p, variant);
+        let catalog = Catalog::new(p, &star);
+        let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
+        drop(catalog);
+        exec::enumerate_parallel(&star, p, &plan, run, threads, None, &Recorder::disabled(), limit)
     }
 
     /// Enumerate embeddings; `emit` receives the mapping array and returns

@@ -117,6 +117,31 @@ impl RecorderState {
         node
     }
 
+    /// Find or create the node at an explicit `/`-separated path from the
+    /// root, creating intermediate nodes as needed, and push it onto the
+    /// current thread's open-span stack.
+    fn open_at(&mut self, path_names: &str) -> NodePath {
+        let tid = std::thread::current().id();
+        let mut path = NodePath::new();
+        for name in path_names.split('/').filter(|s| !s.is_empty()) {
+            let siblings: &mut Vec<PhaseNode> = if path.is_empty() {
+                &mut self.tree.roots
+            } else {
+                &mut self.node_mut(&path).children
+            };
+            let idx = match siblings.iter().position(|c| c.name == name) {
+                Some(i) => i,
+                None => {
+                    siblings.push(PhaseNode { name: name.to_string(), ..PhaseNode::default() });
+                    siblings.len() - 1
+                }
+            };
+            path.push(idx);
+        }
+        self.stacks.entry(tid).or_default().push(path.clone());
+        path
+    }
+
     /// Find or create the child named `name` under the current thread's
     /// innermost open span (or at the root), returning its index path.
     fn open(&mut self, name: &str) -> NodePath {
@@ -138,6 +163,9 @@ impl RecorderState {
     }
 
     fn close(&mut self, path: &[usize], elapsed: Duration) {
+        if path.is_empty() {
+            return;
+        }
         let node = self.node_mut(path);
         node.nanos += elapsed.as_nanos();
         node.calls += 1;
@@ -182,6 +210,17 @@ impl Recorder {
         self.enabled
     }
 
+    /// Lock the state, recovering from poisoning: a worker thread that
+    /// panics while a span is open must not take the whole recorder (and
+    /// every later report) down with it — the tree holds only counters,
+    /// which stay structurally valid.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Enter a phase; the returned guard records the elapsed time into the
     /// tree when dropped. Drop order defines nesting, so bind it to a
     /// local (`let _span = ...`), not `_`.
@@ -189,7 +228,22 @@ impl Recorder {
         if !self.enabled {
             return Span { recorder: self, path: Vec::new(), start: Instant::now(), live: false };
         }
-        let path = self.state.lock().expect("recorder poisoned").open(name);
+        let path = self.lock().open(name);
+        Span { recorder: self, path, start: Instant::now(), live: true }
+    }
+
+    /// Enter a phase at an explicit `/`-separated position in the tree,
+    /// creating intermediate nodes as needed (only the innermost node's
+    /// time is recorded). This is how worker threads attach under the
+    /// phase that spawned them (`span_path("execute/worker")`): a plain
+    /// `span()` from a fresh thread would land at the root. The guard
+    /// joins the calling thread's open-span stack, so nested `span()`
+    /// calls attach beneath it.
+    pub fn span_path(&self, path: &str) -> Span<'_> {
+        if !self.enabled {
+            return Span { recorder: self, path: Vec::new(), start: Instant::now(), live: false };
+        }
+        let path = self.lock().open_at(path);
         Span { recorder: self, path, start: Instant::now(), live: true }
     }
 
@@ -201,7 +255,7 @@ impl Recorder {
 
     /// Snapshot the phase tree collected so far.
     pub fn snapshot(&self) -> PhaseTree {
-        self.state.lock().expect("recorder poisoned").tree.clone()
+        self.lock().tree.clone()
     }
 }
 
@@ -237,7 +291,7 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if self.live {
             let elapsed = self.start.elapsed();
-            self.recorder.state.lock().expect("recorder poisoned").close(&self.path, elapsed);
+            self.recorder.lock().close(&self.path, elapsed);
         }
     }
 }
@@ -303,6 +357,36 @@ mod tests {
         let worker = tree.root("worker").expect("worker phase");
         assert_eq!(worker.calls, 4);
         assert_eq!(tree.at("worker/step").expect("nested").calls, 4);
+    }
+
+    #[test]
+    fn span_path_attaches_threads_under_an_existing_phase() {
+        let rec = Recorder::new();
+        {
+            let _exec = rec.span("execute");
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| {
+                        let _worker = rec.span_path("execute/worker");
+                        // Nested plain spans attach beneath the path span.
+                        let _step = rec.span("claim");
+                    });
+                }
+            });
+        }
+        let tree = rec.snapshot();
+        assert_eq!(tree.roots.len(), 1, "workers did not land at the root");
+        assert_eq!(tree.at("execute/worker").expect("worker under execute").calls, 3);
+        assert_eq!(tree.at("execute/worker/claim").expect("nested under worker").calls, 3);
+    }
+
+    #[test]
+    fn span_path_on_disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        {
+            let _s = rec.span_path("a/b");
+        }
+        assert!(rec.snapshot().roots.is_empty());
     }
 
     #[test]

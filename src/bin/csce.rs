@@ -9,7 +9,8 @@
 //!     --enumerate [N]      print embeddings (all, or first N)
 //!     --plan ri|ri+c|csce  planner preset (default csce)
 //!     --time-limit SECS    abort after a budget
-//!     --threads N          parallel counting workers
+//!     --threads N          parallel matching workers (counting and
+//!                          enumeration; enumerated output is sorted)
 //!     --stats [text|json]  full run report (phase tree + counters) on stdout
 //!     --progress SECS      periodic heartbeat on stderr while matching
 //!     --explain            print the plan instead of executing
@@ -137,7 +138,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 /// generated plan artifacts (DAG, LDSF order, NEC classes, cache slots)
 /// are checked against the pattern too.
 fn cmd_validate(args: &[String]) -> Result<(), String> {
-    use csce::analyze::{ccsr_check, plan_check, Validate, ValidationReport};
+    use csce::analyze::{ccsr_check, plan_check, sched_check, Validate, ValidationReport};
     let mut positional: Vec<&String> = Vec::new();
     let mut query: Option<String> = None;
     let mut variant = Variant::EdgeInduced;
@@ -213,6 +214,10 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             }
         }
     }
+
+    // Engine self-check: the chunk-claim protocol the parallel executor's
+    // exactness rests on (input-independent, so it always runs).
+    report.merge(sched_check::validate_scheduler());
 
     print!("{}", report.to_run_report().to_text());
     if report.is_ok() {
@@ -360,26 +365,21 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     }
 
     let run = RunConfig { time_limit, profile: stats_format.is_some(), ..Default::default() };
+    let progress = Arc::new(AtomicU64::new(0));
+    let heartbeat =
+        progress_every.map(|every| spawn_heartbeat(every, Arc::clone(&progress), time_limit));
+    let progress_sink = progress_every.map(|_| Arc::clone(&progress));
+    let t0 = Instant::now();
     match enumerate {
         None => {
-            let progress = Arc::new(AtomicU64::new(0));
-            let heartbeat = progress_every
-                .map(|every| spawn_heartbeat(every, Arc::clone(&progress), time_limit));
-            let t0 = Instant::now();
-            let out = engine.run_observed(
-                &p,
-                variant,
-                planner,
-                run,
-                &recorder,
-                threads,
-                progress_every.map(|_| Arc::clone(&progress)),
-            );
+            let result =
+                engine.run_observed(&p, variant, planner, run, &recorder, threads, progress_sink);
             let wall = t0.elapsed();
             if let Some((stop, handle)) = heartbeat {
                 stop.store(true, Ordering::Relaxed);
                 let _ = handle.join();
             }
+            let out = result.map_err(|e| e.to_string())?;
             println!(
                 "{} embeddings ({variant}){}",
                 out.count,
@@ -404,24 +404,49 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             }
         }
         Some(limit) => {
-            if threads > 1 {
-                return Err("--enumerate is single-threaded; drop --threads".into());
+            // `--enumerate` without a count means "all embeddings".
+            let limit = if limit == u64::MAX {
+                None
+            } else {
+                Some(usize::try_from(limit).unwrap_or(usize::MAX))
+            };
+            let result = engine.enumerate_observed(
+                &p,
+                variant,
+                planner,
+                run,
+                &recorder,
+                threads,
+                progress_sink,
+                limit,
+            );
+            let wall = t0.elapsed();
+            if let Some((stop, handle)) = heartbeat {
+                stop.store(true, Ordering::Relaxed);
+                let _ = handle.join();
             }
-            if stats_format.is_some() {
-                return Err("--stats applies to counting runs; drop --enumerate".into());
-            }
-            let mut printed = 0u64;
-            let stats = engine.enumerate(&p, variant, &mut |f| {
+            let (out, embeddings) = result.map_err(|e| e.to_string())?;
+            for f in &embeddings {
                 println!("{f:?}");
-                printed += 1;
-                printed < limit
-            });
-            println!("-- {printed} embeddings printed");
+            }
+            println!(
+                "-- {} embeddings printed{}",
+                embeddings.len(),
+                if out.stats.timed_out { " — TIME LIMIT, partial" } else { "" }
+            );
             eprintln!(
                 "[csce] {} nodes, SCE hit rate {:.1}%",
-                stats.nodes,
-                stats.sce_hit_rate() * 100.0
+                out.stats.nodes,
+                out.stats.sce_hit_rate() * 100.0
             );
+            if let Some(format) = stats_format {
+                let report =
+                    match_report(data, variant, planner_name, threads, wall, &out, &recorder);
+                match format {
+                    StatsFormat::Text => print!("{}", report.to_text()),
+                    StatsFormat::Json => println!("{}", report.to_json_string()),
+                }
+            }
         }
     }
     Ok(())
@@ -496,6 +521,14 @@ fn match_report(
         .meta("timed_out", out.stats.timed_out);
     report.phases = recorder.snapshot();
     out.stats.export(&mut report.metrics);
+    // Per-worker load-balance view (one element per worker thread).
+    report.metrics.set_series("exec.worker_nodes", out.workers.iter().map(|w| w.nodes).collect());
+    report
+        .metrics
+        .set_series("exec.worker_chunks", out.workers.iter().map(|w| w.chunks_claimed).collect());
+    report
+        .metrics
+        .set_series("exec.worker_embeddings", out.workers.iter().map(|w| w.embeddings).collect());
     report.metrics.set_counter("read.clusters_read", out.read_stats.clusters_read);
     report.metrics.set_counter("read.rows_decompressed", out.read_stats.rows_decompressed);
     report.metrics.set_counter("read.missing_clusters", out.read_stats.missing_clusters);

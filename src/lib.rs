@@ -34,5 +34,5 @@ pub use csce_datasets as datasets;
 pub use csce_graph as graph;
 pub use csce_obs as obs;
 
-pub use csce_core::{Engine, PlannerConfig, QueryOutput, RunConfig};
+pub use csce_core::{Engine, ExecError, PlannerConfig, QueryOutput, RunConfig};
 pub use csce_graph::{Graph, GraphBuilder, Variant, VertexId, NO_LABEL};

@@ -52,7 +52,9 @@ fn parallel_count_on_dataset() {
     for suite in &suites {
         for p in &suite.patterns {
             let sequential = engine.count(p, Variant::EdgeInduced);
-            let parallel = engine.count_parallel(p, Variant::EdgeInduced, 4, RunConfig::default());
+            let parallel = engine
+                .count_parallel(p, Variant::EdgeInduced, 4, RunConfig::default())
+                .expect("no worker panicked");
             assert_eq!(sequential, parallel.count);
             assert_eq!(parallel.stats.embeddings, parallel.count);
             assert!(!parallel.stats.timed_out);

@@ -1,0 +1,160 @@
+//! The parallel match engine's contract: dynamic chunked scheduling is
+//! exact (counts and embedding *sets* identical to the sequential
+//! executor), early stop and timeouts propagate cooperatively across
+//! workers, and a worker panic degrades to a clean error instead of
+//! poisoning the run.
+
+use csce::engine::exec::{sink_parallel, MatchSink};
+use csce::engine::{Catalog, Engine, ExecError, Planner, PlannerConfig, RunConfig};
+use csce::graph::generate;
+use csce::{Graph, GraphBuilder, Variant, VertexId, NO_LABEL};
+use std::ops::ControlFlow;
+use std::time::Duration;
+
+/// A skewed (preferential-attachment) data graph: a few hub vertices
+/// carry most of the edges, the workload static partitioning balances
+/// worst.
+fn skewed_graph() -> Graph {
+    generate::barabasi_albert(300, 3, 0, 42)
+}
+
+fn path_pattern(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(n);
+    for i in 0..n as u32 - 1 {
+        b.add_undirected_edge(i, i + 1, NO_LABEL).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn chunked_scheduler_is_exact_on_skewed_graph() {
+    let g = skewed_graph();
+    let p = path_pattern(4);
+    let engine = Engine::build(&g);
+    for variant in Variant::ALL {
+        let sequential = engine.count(&p, variant);
+        assert!(sequential > 0, "{variant}: workload must be nontrivial");
+        for threads in [2usize, 4, 7] {
+            let parallel = engine
+                .count_parallel(&p, variant, threads, RunConfig::default())
+                .expect("no worker panicked");
+            assert_eq!(parallel.count, sequential, "{variant} with {threads} threads");
+            assert_eq!(parallel.workers.len(), threads);
+            assert!(
+                parallel.stats.chunks_claimed > 1,
+                "{variant} with {threads} threads: root work was actually chunked"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_enumerate_matches_sequential_set_for_all_variants() {
+    let g = skewed_graph();
+    let p = path_pattern(3);
+    let engine = Engine::build(&g);
+    for variant in Variant::ALL {
+        // `Engine::embeddings` is the sequential enumeration, sorted.
+        let expected = engine.embeddings(&p, variant);
+        assert!(!expected.is_empty(), "{variant}");
+        for threads in [1usize, 2, 4] {
+            let run = engine
+                .collect_parallel(&p, variant, threads, RunConfig::default())
+                .expect("no worker panicked");
+            assert_eq!(run.embeddings, expected, "{variant} with {threads} threads");
+            assert_eq!(run.stats.embeddings, expected.len() as u64, "{variant}");
+        }
+    }
+}
+
+#[test]
+fn first_k_under_many_threads_returns_exactly_k() {
+    let g = skewed_graph();
+    let p = path_pattern(3);
+    let engine = Engine::build(&g);
+    let total = engine.count(&p, Variant::EdgeInduced);
+    assert!(total > 100);
+    let all = engine.embeddings(&p, Variant::EdgeInduced);
+    for threads in [4usize, 7] {
+        for k in [1usize, 7, 64] {
+            let run = engine
+                .enumerate_parallel(&p, Variant::EdgeInduced, threads, RunConfig::default(), k)
+                .expect("no worker panicked");
+            assert_eq!(run.embeddings.len(), k, "k={k} with {threads} threads");
+            // Whichever embeddings won the quota, each is a real one.
+            for f in &run.embeddings {
+                assert!(all.binary_search(f).is_ok(), "spurious embedding {f:?}");
+            }
+        }
+        // Asking for more than exist returns all of them, exactly once.
+        let run = engine
+            .enumerate_parallel(&p, Variant::EdgeInduced, threads, RunConfig::default(), usize::MAX)
+            .expect("no worker panicked");
+        assert_eq!(run.embeddings, all, "limit beyond total with {threads} threads");
+    }
+}
+
+#[test]
+fn shared_timeout_is_attributed_exactly_once() {
+    // An explosive homomorphic workload with a zero budget: every worker
+    // observes the stop, but only one flags `timed_out`.
+    let mut b = GraphBuilder::new();
+    b.add_unlabeled_vertices(13);
+    for i in 0..13u32 {
+        for j in i + 1..13 {
+            b.add_undirected_edge(i, j, NO_LABEL).unwrap();
+        }
+    }
+    let g = b.build();
+    let p = path_pattern(9);
+    let engine = Engine::build(&g);
+    let run = RunConfig { time_limit: Some(Duration::ZERO), ..Default::default() };
+    for threads in [2usize, 4, 6] {
+        let out = engine
+            .count_parallel(&p, Variant::Homomorphic, threads, run)
+            .expect("no worker panicked");
+        assert!(out.stats.timed_out, "{threads} threads");
+        let flagged = out.workers.iter().filter(|w| w.timed_out).count();
+        assert_eq!(flagged, 1, "{threads} threads: {flagged} workers flagged the one deadline");
+    }
+}
+
+/// A sink that panics on the first embedding — the fault-injection probe
+/// for the scheduler's panic containment.
+struct ExplodingSink;
+
+impl MatchSink for ExplodingSink {
+    fn on_embedding(&mut self, _f: &[VertexId]) -> ControlFlow<()> {
+        panic!("exploding sink: injected fault");
+    }
+
+    fn merge(&mut self, _other: Self) {}
+}
+
+#[test]
+fn worker_panic_degrades_to_a_clean_error() {
+    let g = skewed_graph();
+    let p = path_pattern(3);
+    let engine = Engine::build(&g);
+    let star = csce::ccsr::read_csr(engine.ccsr(), &p, Variant::EdgeInduced);
+    let catalog = Catalog::new(&p, &star);
+    let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
+    drop(catalog);
+    let result = sink_parallel(
+        &star,
+        &p,
+        &plan,
+        RunConfig::default(),
+        4,
+        None,
+        &csce::obs::Recorder::disabled(),
+        |_| ExplodingSink,
+    );
+    match result {
+        Err(ExecError::WorkerPanicked { message, .. }) => {
+            assert!(message.contains("injected fault"), "panic payload preserved: {message}");
+        }
+        Ok(_) => panic!("a panicking worker must fail the run"),
+    }
+}

@@ -81,7 +81,9 @@ proptest! {
         let engine = Engine::build(&g);
         let serial = engine.count(&p, Variant::EdgeInduced);
         let run = RunConfig { profile: true, ..RunConfig::default() };
-        let par = engine.count_parallel(&p, Variant::EdgeInduced, threads, run);
+        let par = engine
+            .count_parallel(&p, Variant::EdgeInduced, threads, run)
+            .expect("no worker panicked");
         prop_assert_eq!(par.count, serial);
         prop_assert_eq!(par.stats.embeddings, par.count);
         prop_assert!(!par.stats.timed_out);
@@ -91,7 +93,7 @@ proptest! {
         let single = engine.count_parallel(&p, Variant::EdgeInduced, 1, RunConfig {
             profile: true,
             ..RunConfig::default()
-        });
+        }).expect("no worker panicked");
         prop_assert!(par.stats.candidates_scanned >= single.stats.candidates_scanned);
         if threads == 1 {
             prop_assert_eq!(par.stats.nodes, single.stats.nodes);

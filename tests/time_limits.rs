@@ -78,9 +78,14 @@ fn parallel_counting_propagates_timeouts() {
     for threads in [1usize, 4] {
         let run = RunConfig { time_limit: Some(Duration::ZERO), ..Default::default() };
         let start = Instant::now();
-        let out = engine.count_parallel(&p, Variant::EdgeInduced, threads, run);
+        let out = engine
+            .count_parallel(&p, Variant::EdgeInduced, threads, run)
+            .expect("no worker panicked");
         assert!(out.stats.timed_out, "{threads} threads: merged stats must flag the timeout");
         assert!(start.elapsed() < Duration::from_secs(5));
+        // Exactly one worker attributes the shared-deadline stop.
+        let flagged = out.workers.iter().filter(|w| w.timed_out).count();
+        assert_eq!(flagged, 1, "{threads} threads: timeout flagged {flagged} times");
     }
     // A generous budget through the same path stays exact and un-flagged.
     let small = clique(6);
@@ -88,7 +93,7 @@ fn parallel_counting_propagates_timeouts() {
     let p = long_path(4);
     let exact = engine.count(&p, Variant::EdgeInduced);
     let run = RunConfig { time_limit: Some(Duration::from_secs(60)), ..Default::default() };
-    let out = engine.count_parallel(&p, Variant::EdgeInduced, 4, run);
+    let out = engine.count_parallel(&p, Variant::EdgeInduced, 4, run).expect("no worker panicked");
     assert!(!out.stats.timed_out);
     assert_eq!(out.count, exact);
     assert_eq!(out.stats.embeddings, exact);
