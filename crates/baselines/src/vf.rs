@@ -8,6 +8,15 @@
 //! candidate must retain at least as many *unused* data neighbors as the
 //! pattern vertex has unmatched neighbors, which prunes whole subtrees
 //! before they are entered.
+//!
+//! Capability: injective variants only — [`Baseline::supports`] excludes
+//! homomorphic matching (VF's state machinery assumes a partial injection)
+//! rather than returning wrong answers for it. Directed and edge-labeled
+//! parity with the engine is enforced by the `csce-fuzz` differential
+//! corpus (`csce fuzz`), which probes this matcher on every generated
+//! flavor; the candidate pool comes from *undirected* neighborhoods, with
+//! orientation and edge labels checked by `pair_consistent`, so direction
+//! handling is exercised on every directed case.
 
 use crate::common::{pair_consistent, Deadline};
 use crate::{Baseline, BaselineResult};

@@ -8,6 +8,14 @@
 //! sibling mappings. Homomorphic and edge-induced variants (Table III
 //! lists Graphflow as homomorphic; injectivity is a trivial extension we
 //! include for the cross-variant experiments).
+//!
+//! Capability: [`Baseline::supports`] excludes the vertex-induced variant
+//! — a WCOJ pipeline has no natural place for the non-adjacency negation
+//! checks, so the matcher declares the limit explicitly instead of
+//! producing wrong counts. Directed and edge-labeled parity with the
+//! engine (including antiparallel-arc dedup in `relation_row` and the
+//! pattern-arc subset check via `edges_between`) is enforced by the
+//! `csce-fuzz` differential corpus on every generated flavor.
 
 use crate::common::{earlier_neighbors, ri_order, Deadline};
 use crate::{Baseline, BaselineResult};

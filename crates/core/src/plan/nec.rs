@@ -61,7 +61,35 @@ fn equivalent(p: &Graph, sigs: &[Vec<NbrSig>], u: VertexId, w: VertexId) -> bool
     let strip = |list: &[NbrSig], other: VertexId| -> Vec<NbrSig> {
         list.iter().copied().filter(|&(nbr, _, _)| nbr != other).collect()
     };
-    strip(&sigs[u as usize], w) == strip(&sigs[w as usize], u)
+    if strip(&sigs[u as usize], w) != strip(&sigs[w as usize], u) {
+        return false;
+    }
+    // Cycle guard: two *non-adjacent* vertices with two or more common
+    // neighbors sit on opposite corners of a 4-cycle (e.g. C4 itself,
+    // K(2,n)). Equal neighborhoods make their *initial* candidate sets
+    // equal, but unlike a star's leaves they are not interchangeable
+    // under every downstream constraint (an induced check between them
+    // distinguishes concrete candidate pairs), so grouping them as
+    // equivalent leaves is the misgrouping documented in the paper's NEC
+    // discussion. Fall back to singleton classes for such pairs; adjacent
+    // equivalent vertices (clique NEC) are unaffected.
+    if pair_code(p, u, w).is_empty() && common_neighbors(&sigs[u as usize], &sigs[w as usize]) >= 2
+    {
+        return false;
+    }
+    true
+}
+
+/// Number of distinct vertices adjacent (in any orientation) to both
+/// endpoints of a candidate pair.
+fn common_neighbors(a: &[NbrSig], b: &[NbrSig]) -> usize {
+    let ids = |sig: &[NbrSig]| -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = sig.iter().map(|&(nbr, _, _)| nbr).collect();
+        v.dedup();
+        v
+    };
+    let (ia, ib) = (ids(a), ids(b));
+    ia.iter().filter(|x| ib.contains(x)).count()
 }
 
 /// Group vertices by class id: `members[c]` lists the vertices of class `c`.
@@ -111,19 +139,62 @@ mod tests {
 
     #[test]
     fn cycle_limitation_from_the_paper() {
-        // TurboISO's NEC cannot merge a 4-cycle's vertices into one class
-        // even though the cycle is vertex-transitive: neighborhoods differ
-        // as *sets of ids*. Opposite corners (sharing both neighbors) do
-        // merge.
+        // TurboISO's NEC cannot merge a 4-cycle's vertices: adjacent
+        // corners have different neighborhoods, and opposite corners —
+        // despite sharing both neighbors — are not interchangeable leaves
+        // (the induced check between them tells candidate pairs apart), so
+        // the cycle guard forces singletons instead of misgrouping them.
         let mut b = GraphBuilder::new();
         b.add_unlabeled_vertices(4);
         for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
             b.add_undirected_edge(x, y, NO_LABEL).unwrap();
         }
         let class = nec_classes(&b.build());
-        assert_eq!(class[0], class[2], "opposite corners share neighbors");
-        assert_eq!(class[1], class[3]);
-        assert_ne!(class[0], class[1], "adjacent corners do not");
+        assert_eq!(class, vec![0, 1, 2, 3], "every cycle vertex is a singleton class");
+    }
+
+    #[test]
+    fn labeled_cycle_corners_stay_singleton() {
+        // The labeled variant of the misgrouping: opposite corners of a
+        // labeled C4 have equal labels and identical neighborhoods, yet
+        // must not share a class (see `labeled_cycle_factorization_parity`
+        // in `tests/engine_vs_oracle.rs` for the count-level regression).
+        let mut b = GraphBuilder::new();
+        for label in [0u32, 1, 0, 1] {
+            b.add_vertex(label);
+        }
+        for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+        }
+        let class = nec_classes(&b.build());
+        assert_eq!(class, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn complete_bipartite_sides_stay_singleton() {
+        // K(2,3): every same-side pair is non-adjacent with >= 2 common
+        // neighbors, so the cycle guard applies to both sides.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(5);
+        for x in 0..2 {
+            for y in 2..5 {
+                b.add_undirected_edge(x, y, NO_LABEL).unwrap();
+            }
+        }
+        let class = nec_classes(&b.build());
+        assert_eq!(class, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_single_neighbor_still_merges() {
+        // The guard needs >= 2 common neighbors: plain star leaves (one
+        // shared hub) keep merging.
+        let mut b = GraphBuilder::new();
+        b.add_unlabeled_vertices(3);
+        b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
+        b.add_undirected_edge(0, 2, NO_LABEL).unwrap();
+        let class = nec_classes(&b.build());
+        assert_eq!(class[1], class[2]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Greedy repro minimization.
+//!
+//! Given a diverging `(data, pattern, variant, referee)` the shrinker
+//! repeatedly tries structure-removing edits — drop a data vertex, drop a
+//! data edge, drop a pattern vertex, drop a pattern edge — and keeps any
+//! edit after which the same referee still disagrees with the oracle.
+//! Edits run to a fixpoint under a bounded probe budget, so shrinking
+//! always terminates even on adversarial cases.
+
+use crate::referee::{diverges, probe, EngineUnderTest, Referee};
+use csce_graph::{Graph, GraphBuilder, Variant, VertexId};
+use std::time::Duration;
+
+/// Hard cap on oracle+referee probes during one shrink, so a slow case
+/// cannot stall the harness.
+const PROBE_BUDGET: u32 = 20_000;
+
+/// Convert an index into a [`VertexId`] without a lossy cast; graphs in
+/// this harness are far below `u32::MAX` vertices.
+fn vid(i: usize) -> VertexId {
+    VertexId::try_from(i).unwrap_or(VertexId::MAX)
+}
+
+/// Rebuild `g` without vertex `drop`, remapping ids downward. Returns
+/// `None` when the result would be empty.
+fn without_vertex(g: &Graph, drop: VertexId) -> Option<Graph> {
+    if g.n() <= 1 {
+        return None;
+    }
+    let mut b = GraphBuilder::with_capacity(g.n() - 1, g.m());
+    for v in 0..g.n() {
+        let v = vid(v);
+        if v != drop {
+            b.add_vertex(g.label(v));
+        }
+    }
+    let remap = |v: VertexId| if v > drop { v - 1 } else { v };
+    for e in g.edges() {
+        if e.src == drop || e.dst == drop {
+            continue;
+        }
+        let (s, d) = (remap(e.src), remap(e.dst));
+        let r = if e.directed {
+            b.add_edge(s, d, e.label)
+        } else {
+            b.add_undirected_edge(s, d, e.label)
+        };
+        if r.is_err() {
+            return None;
+        }
+    }
+    Some(b.build())
+}
+
+/// Rebuild `g` without the edge at index `drop` of its canonical edge
+/// list.
+fn without_edge(g: &Graph, drop: usize) -> Option<Graph> {
+    let mut b = GraphBuilder::with_capacity(g.n(), g.m().saturating_sub(1));
+    for v in 0..g.n() {
+        b.add_vertex(g.label(vid(v)));
+    }
+    for (i, e) in g.edges().iter().enumerate() {
+        if i == drop {
+            continue;
+        }
+        let r = if e.directed {
+            b.add_edge(e.src, e.dst, e.label)
+        } else {
+            b.add_undirected_edge(e.src, e.dst, e.label)
+        };
+        if r.is_err() {
+            return None;
+        }
+    }
+    Some(b.build())
+}
+
+/// Patterns must stay connected with at least two vertices for the
+/// planner; data graphs only need to be non-empty.
+fn pattern_ok(p: &Graph) -> bool {
+    p.n() >= 2 && p.is_connected()
+}
+
+struct Shrinker<'a> {
+    variant: Variant,
+    referee: &'a Referee,
+    engine: &'a dyn EngineUnderTest,
+    baseline_time_limit: Option<Duration>,
+    probes: u32,
+}
+
+impl Shrinker<'_> {
+    /// Whether the candidate `(data, pattern)` still reproduces the
+    /// divergence, charged against the probe budget.
+    fn still_fails(&mut self, g: &Graph, p: &Graph) -> bool {
+        if self.probes >= PROBE_BUDGET {
+            return false;
+        }
+        self.probes += 1;
+        let (expected, observed) =
+            probe(g, p, self.variant, self.referee, self.engine, self.baseline_time_limit);
+        diverges(expected, &observed)
+    }
+
+    /// One pass of every edit family; returns the reduced pair and
+    /// whether any edit stuck.
+    fn pass(&mut self, mut g: Graph, mut p: Graph) -> (Graph, Graph, bool) {
+        let mut changed = false;
+        // Data vertices, highest id first so remapping never revisits a
+        // surviving vertex within the scan.
+        let mut v = g.n();
+        while v > 0 {
+            v -= 1;
+            if let Some(cand) = without_vertex(&g, vid(v)) {
+                if self.still_fails(&cand, &p) {
+                    g = cand;
+                    changed = true;
+                }
+            }
+        }
+        let mut i = g.m();
+        while i > 0 {
+            i -= 1;
+            if let Some(cand) = without_edge(&g, i) {
+                if self.still_fails(&cand, &p) {
+                    g = cand;
+                    changed = true;
+                }
+            }
+        }
+        let mut v = p.n();
+        while v > 0 {
+            v -= 1;
+            if let Some(cand) = without_vertex(&p, vid(v)) {
+                if pattern_ok(&cand) && self.still_fails(&g, &cand) {
+                    p = cand;
+                    changed = true;
+                }
+            }
+        }
+        let mut i = p.m();
+        while i > 0 {
+            i -= 1;
+            if let Some(cand) = without_edge(&p, i) {
+                if pattern_ok(&cand) && self.still_fails(&g, &cand) {
+                    p = cand;
+                    changed = true;
+                }
+            }
+        }
+        (g, p, changed)
+    }
+}
+
+/// Greedily minimize a diverging case. The returned pair still diverges
+/// for the same `(variant, referee)` (the shrinker only keeps edits that
+/// preserve the failure), and is a local minimum under single-element
+/// removal unless the probe budget ran out first.
+pub fn shrink_case(
+    data: &Graph,
+    pattern: &Graph,
+    variant: Variant,
+    referee: &Referee,
+    engine: &dyn EngineUnderTest,
+    baseline_time_limit: Option<Duration>,
+) -> (Graph, Graph) {
+    let mut shrinker = Shrinker { variant, referee, engine, baseline_time_limit, probes: 0 };
+    let mut g = data.clone();
+    let mut p = pattern.clone();
+    loop {
+        let (ng, np, changed) = shrinker.pass(g, p);
+        g = ng;
+        p = np;
+        if !changed || shrinker.probes >= PROBE_BUDGET {
+            return (g, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case;
+    use crate::referee::{sweep, InjectedBugEngine, SweepOpts, SweepStats};
+
+    #[test]
+    fn vertex_removal_remaps_edges() {
+        let case = case::generate(3, 0);
+        let g = &case.data;
+        let smaller = without_vertex(g, 0).expect("non-trivial graph");
+        assert_eq!(smaller.n(), g.n() - 1);
+        for e in smaller.edges() {
+            assert!((e.src as usize) < smaller.n() && (e.dst as usize) < smaller.n());
+        }
+    }
+
+    #[test]
+    fn edge_removal_keeps_vertices() {
+        let case = case::generate(3, 1);
+        let g = &case.data;
+        let smaller = without_edge(g, 0).expect("at least one edge");
+        assert_eq!(smaller.n(), g.n());
+        assert_eq!(smaller.m(), g.m() - 1);
+    }
+
+    #[test]
+    fn injected_bug_shrinks_small() {
+        // Find a diverging case for the sabotaged engine, then shrink it.
+        let mut found = None;
+        let mut stats = SweepStats::default();
+        let opts = SweepOpts { check_baselines: false, ..SweepOpts::default() };
+        for index in 0..32 {
+            let case = case::generate(42, index);
+            if let Some(div) =
+                sweep(&case.data, &case.pattern, &InjectedBugEngine, &opts, &mut stats)
+            {
+                found = Some((case, div));
+                break;
+            }
+        }
+        let (case, div) = found.expect("injected bug must surface within 32 cases");
+        let (g, p) = shrink_case(
+            &case.data,
+            &case.pattern,
+            div.variant,
+            &div.referee,
+            &InjectedBugEngine,
+            None,
+        );
+        assert!(g.n() <= 8, "shrunk data graph too large: {} vertices", g.n());
+        assert!(p.n() >= 2 && p.is_connected());
+        let (expected, observed) =
+            probe(&g, &p, div.variant, &div.referee, &InjectedBugEngine, None);
+        assert!(diverges(expected, &observed), "shrunk case no longer reproduces");
+    }
+}

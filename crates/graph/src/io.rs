@@ -21,7 +21,7 @@
 //!   ```
 
 use crate::graph::{Graph, GraphBuilder};
-use crate::{Label, NO_LABEL};
+use crate::{Label, VertexId, NO_LABEL};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -58,8 +58,7 @@ fn parse_err<T>(line: usize, msg: impl Into<String>) -> Result<T, IoError> {
 pub fn write_csce<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(w);
     writeln!(w, "t {} {}", g.n(), g.m())?;
-    for v in 0..g.n() as u32 {
-        let l = g.label(v);
+    for (v, &l) in g.labels().iter().enumerate() {
         if l == NO_LABEL {
             writeln!(w, "v {v} -")?;
         } else {
@@ -254,9 +253,10 @@ pub fn load_snap(path: impl AsRef<Path>, directed: bool) -> Result<Graph, IoErro
 pub fn write_veq<W: Write>(g: &Graph, w: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(w);
     writeln!(w, "t {} {}", g.n(), g.m())?;
-    for v in 0..g.n() as u32 {
-        let l = if g.label(v) == NO_LABEL { 0 } else { g.label(v) };
-        writeln!(w, "v {v} {l} {}", g.degree(v))?;
+    for (v, &vl) in g.labels().iter().enumerate() {
+        let l = if vl == NO_LABEL { 0 } else { vl };
+        let deg = VertexId::try_from(v).map(|id| g.degree(id)).unwrap_or(0);
+        writeln!(w, "v {v} {l} {deg}")?;
     }
     for e in g.edges() {
         writeln!(w, "e {} {}", e.src, e.dst)?;

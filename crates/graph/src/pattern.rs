@@ -101,7 +101,10 @@ pub fn core_numbers(g: &Graph) -> Vec<u32> {
         while cursor <= max_deg && buckets[cursor].is_empty() {
             cursor += 1;
         }
-        let v = buckets[cursor].pop().unwrap();
+        // Every unprocessed vertex sits in some bucket at or above the
+        // cursor, so this only misses if the invariant is broken — stop
+        // with the peel done so far rather than panicking.
+        let Some(v) = buckets.get_mut(cursor).and_then(Vec::pop) else { break };
         if removed[v as usize] {
             continue;
         }

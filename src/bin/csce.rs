@@ -14,6 +14,15 @@
 //!     --stats [text|json]  full run report (phase tree + counters) on stdout
 //!     --progress SECS      periodic heartbeat on stderr while matching
 //!     --explain            print the plan instead of executing
+//! csce fuzz [options]                             # differential testing
+//!     --runs N             number of random cases (default 200)
+//!     --seed S             master seed (default 42)
+//!     --threads N          parallel engine probes use N threads (default 4)
+//!     --out DIR            where to write `.repro` files (default .)
+//!     --baseline-time-limit SECS   per-baseline probe budget (default 2)
+//!     --no-baselines       engine/oracle self-consistency only
+//!     --inject-bug         sabotage the engine to demo catch + shrink
+//!     --replay FILE        re-run a `.repro` instead of fuzzing
 //! ```
 //!
 //! Graph files use the CSCE text format (`csce_graph::io`); a `.ccsr`
@@ -35,6 +44,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("match") => cmd_match(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -61,6 +71,9 @@ fn print_usage() {
          [--time-limit SECS] [--threads N] [--stats [text|json]]\n            \
          [--progress SECS] [--explain]\n  \
          csce validate <graph.csce|data.ccsr> [--query \"...\"] [--variant e|v|h] [--plan ri|ri+c|csce]\n  \
+         csce fuzz [--runs N] [--seed S] [--threads N] [--out DIR]\n            \
+         [--baseline-time-limit SECS] [--no-baselines] [--inject-bug]\n  \
+         csce fuzz --replay <file.repro>\n  \
          csce dot <graph.csce | --query \"...\">"
     );
 }
@@ -82,6 +95,18 @@ fn load_engine(path: &str, rec: &Recorder) -> Result<Engine, String> {
 
 fn load_graph(path: &str) -> Result<Graph, String> {
     io::load_csce(path).map_err(|e| e.to_string())
+}
+
+/// Reject patterns the planner cannot take (it asserts on them): empty
+/// files parse fine (`t 0 0`) but must become a diagnostic, not a panic.
+fn check_pattern(p: &Graph) -> Result<(), String> {
+    if p.n() == 0 {
+        return Err("pattern is empty (no vertices)".to_string());
+    }
+    if !p.is_connected() {
+        return Err("pattern must be connected".to_string());
+    }
+    Ok(())
 }
 
 fn cmd_cluster(args: &[String]) -> Result<(), String> {
@@ -196,9 +221,7 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(p) = pattern {
-        if !p.is_connected() {
-            return Err("pattern must be connected".to_string());
-        }
+        check_pattern(&p)?;
         report.merge(p.validate());
         match &engine {
             Some(e) => {
@@ -224,6 +247,131 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("validation failed: {} violation(s)", report.total_violations()))
+    }
+}
+
+/// `csce fuzz`: drive the `csce-fuzz` differential harness — random
+/// cases through every variant, the full engine configuration matrix,
+/// the baselines and the oracle — and write the first divergence (after
+/// shrinking and re-validation) as a replayable `.repro` file. With
+/// `--replay FILE`, re-run one repro's probe instead; exits nonzero while
+/// the divergence still reproduces.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    use csce::fuzz::referee::{diverges, EngineUnderTest, InjectedBugEngine, RealEngine};
+    use csce::fuzz::{repro, run_fuzz, FuzzConfig};
+    let mut config = FuzzConfig::default();
+    let mut threads: usize = 4;
+    let mut out_dir = String::from(".");
+    let mut replay_path: Option<String> = None;
+    let mut inject_bug = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                config.runs =
+                    it.next().ok_or("missing --runs value")?.parse().map_err(|_| "bad --runs")?;
+            }
+            "--seed" => {
+                config.seed =
+                    it.next().ok_or("missing --seed value")?.parse().map_err(|_| "bad --seed")?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("missing --threads value")?
+                    .parse()
+                    .map_err(|_| "bad --threads")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--out" => out_dir = it.next().ok_or("missing --out value")?.clone(),
+            "--baseline-time-limit" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("missing --baseline-time-limit value")?
+                    .parse()
+                    .map_err(|_| "bad --baseline-time-limit")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--baseline-time-limit must be positive".into());
+                }
+                config.baseline_time_limit = Some(Duration::from_secs_f64(secs));
+            }
+            "--no-baselines" => config.check_baselines = false,
+            "--inject-bug" => inject_bug = true,
+            "--replay" => replay_path = Some(it.next().ok_or("missing --replay value")?.clone()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    config.thread_counts = if threads == 1 { vec![1] } else { vec![1, threads] };
+    let engine: &dyn EngineUnderTest = if inject_bug { &InjectedBugEngine } else { &RealEngine };
+
+    if let Some(path) = replay_path {
+        let r = repro::Repro::load(&path)?;
+        println!(
+            "replaying {path}: seed {} case {} variant {} referee {}",
+            r.seed,
+            r.case,
+            r.variant,
+            r.referee.label()
+        );
+        println!("recorded: oracle {} vs {}", r.expected, r.observed);
+        let report = repro::replay(&r, engine);
+        print!("{}", report.validation.to_run_report().to_text());
+        println!("now: oracle {} vs {}", report.expected_now, report.observed_now);
+        if report.reproduces {
+            return Err("divergence still reproduces".to_string());
+        }
+        println!("divergence no longer reproduces — fixed");
+        return Ok(());
+    }
+
+    println!(
+        "fuzzing: {} runs, seed {}, threads {:?}, baselines {}",
+        config.runs,
+        config.seed,
+        config.thread_counts,
+        if config.check_baselines { "on" } else { "off" }
+    );
+    let outcome = run_fuzz(&config, engine, &mut |line| eprintln!("[fuzz] {line}"));
+    println!(
+        "{} cases, {} engine probes, {} baseline probes ({} timed out)",
+        outcome.cases_run,
+        outcome.stats.engine_runs,
+        outcome.stats.baseline_runs,
+        outcome.stats.baseline_timeouts
+    );
+    match outcome.failure {
+        None => {
+            println!("no divergences");
+            Ok(())
+        }
+        Some(failure) => {
+            let r = &failure.repro;
+            let path = format!("{}/fuzz-seed{}-case{}.repro", out_dir, r.seed, r.case);
+            r.save(&path)?;
+            print!("{}", failure.validation.to_run_report().to_text());
+            println!(
+                "divergence: case {} [{}] variant {} referee {}",
+                r.case,
+                failure.descr,
+                r.variant,
+                r.referee.label()
+            );
+            println!("oracle {} vs {}", r.expected, r.observed);
+            println!(
+                "shrunk to data n={} m={} / pattern n={} m={}; wrote {path}",
+                r.data.n(),
+                r.data.m(),
+                r.pattern.n(),
+                r.pattern.m()
+            );
+            if !diverges(r.expected, &r.observed) {
+                println!("note: shrunk probe no longer diverges (flaky or timing-dependent)");
+            }
+            Err(format!("1 divergence found; repro written to {path}"))
+        }
     }
 }
 
@@ -354,9 +502,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     };
     let recorder = if stats_format.is_some() { Recorder::new() } else { Recorder::disabled() };
     let engine = load_engine(data, &recorder)?;
-    if !p.is_connected() {
-        return Err("pattern must be connected".to_string());
-    }
+    check_pattern(&p)?;
 
     if explain {
         let plan = engine.plan(&p, variant, planner);

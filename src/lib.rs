@@ -22,7 +22,10 @@
 //! * [`obs`] — zero-dependency observability: phase-timed spans, the
 //!   metrics registry, run reports and the built-in JSON codec;
 //! * [`analyze`] — deep structural invariant checkers ([`analyze::Validate`])
-//!   for graphs, `G_C`, and plans, plus the `csce-lint` source linter.
+//!   for graphs, `G_C`, and plans, plus the `csce-lint` source linter;
+//! * [`fuzz`] — the seeded differential-testing harness behind
+//!   `csce fuzz`: random cases, the engine/baseline/oracle referee sweep,
+//!   the shrinker and the `.repro` format.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -31,6 +34,7 @@ pub use csce_baselines as baselines;
 pub use csce_ccsr as ccsr;
 pub use csce_core as engine;
 pub use csce_datasets as datasets;
+pub use csce_fuzz as fuzz;
 pub use csce_graph as graph;
 pub use csce_obs as obs;
 

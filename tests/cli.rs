@@ -304,6 +304,102 @@ fn validate_detects_corrupted_ccsr() {
 }
 
 #[test]
+fn malformed_inputs_error_without_panicking() {
+    let dir = workdir();
+    let data = write(&dir, "data9.csce", DATA);
+    // Corrupt pattern/graph files: a parse diagnostic and a nonzero exit,
+    // never a panic (a panic would print "panicked at" on stderr and exit
+    // with 101 instead of 1).
+    let cases = [
+        ("garbage.csce", "not a graph at all\n"),
+        ("badcount.csce", "t 3 1\nv 0 0\nv 1 0\ne 0 1 - u\n"),
+        ("badid.csce", "t 2 1\nv 0 0\nv 7 0\ne 0 1 - u\n"),
+        ("badedge.csce", "t 2 1\nv 0 0\nv 1 0\ne 0 9 - u\n"),
+        ("baddir.csce", "t 2 1\nv 0 0\nv 1 0\ne 0 1 - x\n"),
+        ("selfloop.csce", "t 1 1\nv 0 0\ne 0 0 - u\n"),
+    ];
+    for (name, contents) in cases {
+        let bad = write(&dir, name, contents);
+        for order in [[&bad, &data], [&data, &bad]] {
+            let out = bin()
+                .args(["match", order[0].to_str().unwrap(), order[1].to_str().unwrap()])
+                .output()
+                .unwrap();
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(!out.status.success(), "{name} must be rejected");
+            assert_eq!(out.status.code(), Some(1), "{name}: diagnostic exit, not a crash");
+            assert!(!stderr.contains("panicked"), "{name}: {stderr}");
+            assert!(stderr.contains("error:"), "{name}: {stderr}");
+        }
+    }
+    // An empty pattern parses fine but the planner cannot take it.
+    let empty = write(&dir, "empty.csce", "t 0 0\n");
+    for cmd in ["match", "validate"] {
+        let out =
+            bin().args([cmd, data.to_str().unwrap(), empty.to_str().unwrap()]).output().unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "{cmd} with empty pattern: {stderr}");
+        assert!(!stderr.contains("panicked"), "{cmd}: {stderr}");
+        assert!(stderr.contains("empty"), "{cmd} names the problem: {stderr}");
+    }
+}
+
+#[test]
+fn fuzz_smoke_and_replay_roundtrip() {
+    let dir = workdir();
+    // A clean bounded run: zero divergences, exit 0.
+    let out =
+        bin().args(["fuzz", "--runs", "5", "--seed", "1", "--no-baselines"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no divergences"), "{text}");
+
+    // The injected bug: caught, shrunk, written as a .repro, exit 1.
+    let out = bin()
+        .args([
+            "fuzz",
+            "--runs",
+            "64",
+            "--seed",
+            "42",
+            "--no-baselines",
+            "--inject-bug",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "injected bug must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("divergence"), "{stdout}");
+    let repro = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "repro"))
+        .expect("a .repro file was written")
+        .path();
+
+    // Replay against the buggy engine: still reproduces, exit 1.
+    let out =
+        bin().args(["fuzz", "--replay", repro.to_str().unwrap(), "--inject-bug"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("still reproduces"));
+
+    // Replay against the real engine: fixed, exit 0.
+    let out = bin().args(["fuzz", "--replay", repro.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no longer reproduces"));
+
+    // A corrupt .repro is a diagnostic, not a panic.
+    let bad = write(&dir, "bad.repro", "csce-fuzz repro v1\nseed oops\n");
+    let out = bin().args(["fuzz", "--replay", bad.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("seed"), "{stderr}");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = bin().arg("help").output().unwrap();
     assert!(out.status.success());

@@ -9,21 +9,35 @@ use csce::graph::sample::PatternSampler;
 use csce::graph::Density;
 use csce::Variant;
 
+/// Sample a pattern or die trying: a refused draw retries with fresh
+/// derived sampler seeds instead of silently skipping the family (the old
+/// `else {{ continue }}` shrank coverage without failing anything).
+fn must_sample(g: &csce::Graph, base_seed: u64, size: usize, density: Density) -> csce::Graph {
+    for attempt in 0..16u64 {
+        let mut sampler = PatternSampler::new(g, base_seed ^ (attempt.wrapping_mul(0x9E37)));
+        if let Some(sp) = sampler.sample(size, density) {
+            return sp.pattern;
+        }
+    }
+    panic!("no {size}-vertex {density:?} pattern after 16 sampler seeds (base {base_seed})");
+}
+
 /// Exhaustive agreement on a family of small random graphs.
 fn check_family(vertex_labels: u32, edge_labels: u32, directed: bool, seed: u64) {
     let g = erdos_renyi(14, 28, vertex_labels, edge_labels, directed, seed);
     let engine = Engine::build(&g);
-    let mut sampler = PatternSampler::new(&g, seed ^ 0xABCD);
-    for density in [Density::Sparse, Density::Dense] {
-        let Some(sp) = sampler.sample(4, density) else { continue };
-        let p = sp.pattern;
-        for variant in Variant::ALL {
-            let expected = oracle_embeddings(&g, &p, variant);
-            let got = engine.embeddings(&p, variant);
-            assert_eq!(
-                got, expected,
-                "family(vl={vertex_labels}, el={edge_labels}, dir={directed}, seed={seed}) {variant}"
-            );
+    for size in [4usize, 5] {
+        for density in [Density::Sparse, Density::Dense] {
+            let p = must_sample(&g, seed ^ 0xABCD, size, density);
+            for variant in Variant::ALL {
+                let expected = oracle_embeddings(&g, &p, variant);
+                let got = engine.embeddings(&p, variant);
+                assert_eq!(
+                    got, expected,
+                    "family(vl={vertex_labels}, el={edge_labels}, dir={directed}, seed={seed}, \
+                     size={size}) {variant}"
+                );
+            }
         }
     }
 }
@@ -69,11 +83,72 @@ fn larger_patterns_counts_only() {
     for seed in 0..4 {
         let g = erdos_renyi(18, 40, 2, 0, false, 500 + seed);
         let engine = Engine::build(&g);
-        let mut sampler = PatternSampler::new(&g, seed);
-        if let Some(sp) = sampler.sample(6, Density::Sparse) {
-            for variant in Variant::ALL {
-                let expected = csce::graph::oracle_count(&g, &sp.pattern, variant);
-                assert_eq!(engine.count(&sp.pattern, variant), expected, "seed={seed} {variant}");
+        let p = must_sample(&g, seed, 6, Density::Sparse);
+        for variant in Variant::ALL {
+            let expected = csce::graph::oracle_count(&g, &p, variant);
+            assert_eq!(engine.count(&p, variant), expected, "seed={seed} {variant}");
+        }
+    }
+}
+
+#[test]
+fn directed_edge_labeled_homomorphic() {
+    // Directed + edge-labeled graphs with 5- and 6-vertex patterns,
+    // checked homomorphically (exact embedding sets for size 5, counts
+    // for size 6) — the variant/flavor corner the families above missed.
+    for seed in 0..4 {
+        let g = erdos_renyi(16, 36, 3, 2, true, 600 + seed);
+        let engine = Engine::build(&g);
+        let p = must_sample(&g, 600 + seed, 5, Density::Sparse);
+        assert_eq!(
+            engine.embeddings(&p, Variant::Homomorphic),
+            oracle_embeddings(&g, &p, Variant::Homomorphic),
+            "seed={seed} hom embeddings"
+        );
+        let p6 = must_sample(&g, 700 + seed, 6, Density::Sparse);
+        for variant in Variant::ALL {
+            assert_eq!(
+                engine.count(&p6, variant),
+                csce::graph::oracle_count(&g, &p6, variant),
+                "seed={seed} {variant}"
+            );
+        }
+    }
+}
+
+#[test]
+fn labeled_cycle_factorization_parity() {
+    // Regression for the NEC cycle misgrouping: on a labeled 4-cycle
+    // pattern, opposite corners share their label and full neighborhood,
+    // and grouping them as equivalent leaves is exactly the case the
+    // cycle guard in `plan/nec.rs` now rejects. Factorized and plain
+    // counts must agree with the oracle for every variant and preset.
+    use csce::graph::GraphBuilder;
+    use csce::NO_LABEL;
+    let mut pb = GraphBuilder::new();
+    for label in [0u32, 1, 0, 1] {
+        pb.add_vertex(label);
+    }
+    for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+        pb.add_undirected_edge(x, y, NO_LABEL).unwrap();
+    }
+    let p = pb.build();
+    for seed in 0..6 {
+        // Data graphs rich in 4-cycles over the two labels.
+        let g = erdos_renyi(12, 30, 2, 0, false, 800 + seed);
+        let engine = Engine::build(&g);
+        for variant in Variant::ALL {
+            let expected = csce::graph::oracle_count(&g, &p, variant);
+            for config in [PlannerConfig::csce(), PlannerConfig::ri_only()] {
+                for factorize in [true, false] {
+                    let run = RunConfig { factorize, ..RunConfig::default() };
+                    let out = engine.run(&p, variant, config, run);
+                    assert_eq!(
+                        out.count, expected,
+                        "seed={seed} {variant} nec={} factorize={factorize}",
+                        config.nec
+                    );
+                }
             }
         }
     }
