@@ -1,14 +1,19 @@
 //! Workspace lint driver: scans library sources, applies the `csce-lint`
-//! rules, and ratchets against the checked-in allowlist.
+//! rules, and ratchets against the checked-in allowlist. With `--static`
+//! it instead runs the call-graph analyzer (panic-reachability, hot-path
+//! casts, shared-state manifest) against the function-granular baseline.
 //!
 //! ```text
 //! csce-lint [--root DIR] [--allowlist FILE] [--update-allowlist]
+//! csce-lint --static [--root DIR] [--baseline FILE] [--update-baseline]
+//!           [--sarif FILE]
 //! ```
 //!
 //! Exit status 0 when every file is at or under its recorded ceiling and
 //! no ceiling is stale; 1 on lint failure; 2 on usage or I/O errors.
 
 use csce_analyze::lint::{collect_sources, lint_source, Allowlist, LintViolation, RULES};
+use csce_analyze::rules::{run_static, to_sarif, StaticBaseline, BASELINE_PATH, STATIC_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,12 +21,20 @@ struct Args {
     root: PathBuf,
     allowlist: PathBuf,
     update: bool,
+    static_mode: bool,
+    baseline: PathBuf,
+    update_baseline: bool,
+    sarif: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut update = false;
+    let mut static_mode = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut sarif = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,15 +43,24 @@ fn parse_args() -> Result<Args, String> {
                 allowlist = Some(PathBuf::from(it.next().ok_or("--allowlist needs a file")?));
             }
             "--update-allowlist" => update = true,
+            "--static" => static_mode = true,
+            "--baseline" => {
+                baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--update-baseline" => update_baseline = true,
+            "--sarif" => sarif = Some(PathBuf::from(it.next().ok_or("--sarif needs a file")?)),
             "--help" | "-h" => {
-                return Err("usage: csce-lint [--root DIR] [--allowlist FILE] [--update-allowlist]"
+                return Err("usage: csce-lint [--root DIR] [--allowlist FILE] \
+                            [--update-allowlist] [--static [--baseline FILE] \
+                            [--update-baseline] [--sarif FILE]]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     let allowlist = allowlist.unwrap_or_else(|| root.join("scripts/lint-allowlist.txt"));
-    Ok(Args { root, allowlist, update })
+    let baseline = baseline.unwrap_or_else(|| root.join(BASELINE_PATH));
+    Ok(Args { root, allowlist, update, static_mode, baseline, update_baseline, sarif })
 }
 
 fn run(args: &Args) -> Result<bool, String> {
@@ -94,6 +116,58 @@ fn run(args: &Args) -> Result<bool, String> {
     Ok(failures.is_empty())
 }
 
+fn run_static_mode(args: &Args) -> Result<bool, String> {
+    let report = run_static(&args.root)
+        .map_err(|e| format!("static analysis under {}: {e}", args.root.display()))?;
+    let mut per_rule = [0usize; STATIC_RULES.len()];
+    for f in &report.findings {
+        if let Some(k) = STATIC_RULES.iter().position(|&r| r == f.rule) {
+            per_rule[k] += 1;
+        }
+    }
+    let summary: Vec<String> =
+        STATIC_RULES.iter().zip(per_rule).map(|(r, c)| format!("{r}: {c}")).collect();
+    eprintln!(
+        "csce-static: {} fns, {} call edges, {} hot fns ({} entries), {} findings ({})",
+        report.functions,
+        report.edges,
+        report.hot_fns,
+        report.entries_found,
+        report.findings.len(),
+        summary.join(", ")
+    );
+
+    if let Some(path) = &args.sarif {
+        std::fs::write(path, to_sarif(&report).to_pretty())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("csce-static: wrote {}", path.display());
+    }
+
+    if args.update_baseline {
+        let text = StaticBaseline::from_findings(&report.findings).to_text();
+        std::fs::write(&args.baseline, text)
+            .map_err(|e| format!("writing {}: {e}", args.baseline.display()))?;
+        eprintln!("csce-static: wrote {}", args.baseline.display());
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => {
+            StaticBaseline::parse(&text).map_err(|e| format!("{}: {e}", args.baseline.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => StaticBaseline::default(),
+        Err(e) => return Err(format!("reading {}: {e}", args.baseline.display())),
+    };
+    let failures = baseline.check(&report.findings);
+    for f in &failures {
+        eprintln!("csce-static: FAIL {f}");
+    }
+    if failures.is_empty() {
+        eprintln!("csce-static: OK (certified entry points reach 0 unallowlisted panic sites)");
+    }
+    Ok(failures.is_empty())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -102,7 +176,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
+    let result = if args.static_mode { run_static_mode(&args) } else { run(&args) };
+    match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(msg) => {

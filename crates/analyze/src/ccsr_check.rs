@@ -324,10 +324,16 @@ fn check_negation_index(gc: &Ccsr, r: &mut ValidationReport) {
 /// sorted by key — so equality is well-defined).
 fn check_persist_fixpoint(gc: &Ccsr, r: &mut ValidationReport) {
     r.ran("ccsr.persist-fixpoint");
-    let bytes = persist::to_bytes(gc);
+    let bytes = match persist::to_bytes(gc) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            r.violation("ccsr.persist-fixpoint", format!("G_C does not encode: {e}"));
+            return;
+        }
+    };
     match persist::from_bytes(&bytes) {
         Ok(back) => {
-            if persist::to_bytes(&back) != bytes {
+            if persist::to_bytes(&back).ok() != Some(bytes) {
                 r.violation(
                     "ccsr.persist-fixpoint",
                     "re-encoding a decoded G_C changes the byte stream",
@@ -356,7 +362,7 @@ mod tests {
         b.add_edge(1, 2, NO_LABEL).unwrap();
         b.add_undirected_edge(2, 4, NO_LABEL).unwrap();
         b.add_undirected_edge(2, 5, 3).unwrap();
-        build_ccsr(&b.build())
+        build_ccsr(&b.build()).unwrap()
     }
 
     #[test]
@@ -368,13 +374,13 @@ mod tests {
 
     #[test]
     fn empty_ccsr_passes() {
-        let gc = build_ccsr(&GraphBuilder::new().build());
+        let gc = build_ccsr(&GraphBuilder::new().build()).unwrap();
         assert!(gc.validate().is_ok());
     }
 
     #[test]
     fn valid_bytes_pass() {
-        let bytes = persist::to_bytes(&sample());
+        let bytes = persist::to_bytes(&sample()).unwrap();
         let report = validate_ccsr_bytes(&bytes, "bytes");
         assert!(report.is_ok(), "{:?}", report.details());
     }
@@ -384,7 +390,7 @@ mod tests {
         // ISSUE acceptance: a deliberately corrupted serialized G_C with a
         // flipped (non-monotone) row-index run must be flagged.
         let gc = sample();
-        let good = persist::to_bytes(&gc);
+        let good = persist::to_bytes(&gc).unwrap();
         let mut seen_rejection = false;
         // Walk the encoding and try swapping each adjacent pair of run
         // values we can find; at least one such flip must be caught.
@@ -408,7 +414,7 @@ mod tests {
         // Swapping two vertex labels desynchronizes cluster keys from arc
         // labels — from_bytes accepts the stream, the deep check must not.
         let gc = sample();
-        let mut bytes = persist::to_bytes(&gc);
+        let mut bytes = persist::to_bytes(&gc).unwrap();
         // Labels start after the 8-byte magic + 4-byte n; vertex 0 has
         // label 0, vertex 2 has label 2 — swap them.
         let base = 12;

@@ -4,7 +4,7 @@
 //! workspace — the validation layer the paper's correctness arguments
 //! assume but the production code never re-checks.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! * **Runtime structural analysis** — the [`Validate`] trait plus deep,
 //!   from-scratch checkers for every core structure: [`csce_graph::Graph`]
@@ -20,14 +20,27 @@
 //!   library code, no lossy index casts, no wildcard arms on the matching
 //!   variant enums, module docs), driven by the `csce-lint` binary with a
 //!   checked-in allowlist so CI fails only on *new* violations.
+//! * **Call-graph static analysis** — [`callgraph`], [`reach`] and
+//!   [`rules`]: a workspace-wide call graph built on the same tokenizer,
+//!   certifying panic-freedom of the executor entry points
+//!   ([`rules::panic_reach`]), flagging narrow casts on the hot path
+//!   ([`rules::hot_cast`]) and auditing shared-state fields against the
+//!   declared-ordering manifest ([`rules::shared_state`]); findings
+//!   ratchet per function against `scripts/static-baseline.txt` and
+//!   export as SARIF through `csce-lint --static` /
+//!   `csce validate --static`.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod ccsr_check;
 pub mod graph_check;
 pub mod lint;
 pub mod plan_check;
+pub mod reach;
+pub mod rules;
 pub mod sched_check;
+mod tokens;
 
 /// Cap on the number of per-violation detail strings a report retains;
 /// counts stay exact beyond it, details are dropped (a badly corrupted

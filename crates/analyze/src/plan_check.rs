@@ -533,7 +533,7 @@ mod tests {
 
     fn check_variant(variant: Variant, config: PlannerConfig) {
         let p = fig1_pattern();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, variant);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(config).plan(&catalog, variant);

@@ -1,0 +1,68 @@
+//! Rule `hot-cast`: narrow `as` casts in *hot* code.
+//!
+//! The token lint's `lossy-cast` rule flags every `as u32`-style cast in
+//! library code; this rule focuses the pressure where truncation corrupts
+//! results instead of diagnostics — functions reachable from the engine
+//! entry points or from the CCSR read path (`ReadCSR`, Algorithm 1, and
+//! the decoded-cluster accessors the recursion touches per candidate).
+
+use crate::callgraph::{SiteKind, Workspace};
+use crate::reach::{reach, EntryPoint};
+use crate::rules::{panic_reach, Finding};
+
+/// Entry points of the CCSR read path, pinned to the ccsr crate.
+pub const READ_ENTRY_POINTS: [&str; 4] =
+    ["read_csr", "pattern_edge_key", "GcStar::get", "GcStar::cluster_for_edge"];
+
+/// File prefix the read-path entries must be defined under.
+pub const READ_PREFIX: &str = "crates/ccsr/src/";
+
+/// Run the rule: one finding per narrow-cast site in a function reachable
+/// from the engine or CCSR read paths. Missing read-path entries are not
+/// findings here — `panic-reach` already certifies the engine list, and
+/// the read-path names double as plain reachability seeds.
+pub fn run(ws: &Workspace, adj: &[Vec<usize>]) -> Vec<Finding> {
+    let mut entries: Vec<EntryPoint> = panic_reach::ENTRY_POINTS
+        .iter()
+        .map(|q| EntryPoint { qual: q, file_prefix: panic_reach::ENTRY_PREFIX })
+        .collect();
+    entries
+        .extend(READ_ENTRY_POINTS.iter().map(|q| EntryPoint { qual: q, file_prefix: READ_PREFIX }));
+    let r = reach(ws, adj, &entries);
+    let mut findings = Vec::new();
+    for idx in r.reachable_fns() {
+        let f = &ws.fns[idx];
+        for site in &f.sites {
+            if site.kind != SiteKind::NarrowCast {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "hot-cast",
+                fn_path: f.qual_name.clone(),
+                file: f.file.clone(),
+                line: site.line,
+                msg: format!("{} in hot code, reachable via {}", site.what, r.chain(ws, idx)),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_flagged_only_in_reachable_code() {
+        let mut ws = Workspace::default();
+        ws.parse_file(
+            "crates/ccsr/src/read.rs",
+            "//! d\nfn read_csr(n: usize) { narrow(n); }\nfn narrow(n: usize) -> u32 { n as u32 }\nfn cold(n: usize) -> u32 { n as u32 }\n",
+        );
+        let adj = ws.resolve();
+        let findings = run(&ws, &adj);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].fn_path, "narrow");
+        assert!(findings[0].msg.contains("read_csr > narrow"), "{}", findings[0].msg);
+    }
+}

@@ -1,0 +1,113 @@
+//! Rule `shared-state`: every `Arc`/`Atomic*`/`Mutex`/`RwLock` field in
+//! the executor (`crates/core/src/exec/`) must appear in the committed
+//! declared-ordering manifest.
+//!
+//! The manifest (`scripts/shared-state-manifest.txt`) lists one
+//! `Struct.field` per line, in the order the fields may be acquired or
+//! published, with a justification after ` — `. The rule fails in both
+//! directions: an undeclared field (orphaned atomic someone added without
+//! thinking about ordering) and a stale manifest entry (field removed or
+//! renamed without updating the declared order).
+
+use crate::callgraph::Workspace;
+use crate::rules::{Finding, MANIFEST_PATH};
+
+/// Directory whose shared-state fields are audited.
+pub const EXEC_PREFIX: &str = "crates/core/src/exec/";
+
+/// Parse manifest text into ordered `Struct.field` entries; `#` comments,
+/// blank lines, and ` — ` justifications are stripped.
+pub fn parse_manifest(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next().map(str::to_string))
+        .collect()
+}
+
+/// Run the rule over the parsed workspace's shared fields.
+pub fn run(ws: &Workspace, manifest: Option<&str>) -> Vec<Finding> {
+    let declared = manifest.map(parse_manifest).unwrap_or_default();
+    let mut findings = Vec::new();
+    for f in &ws.shared_fields {
+        if !f.file.starts_with(EXEC_PREFIX) {
+            continue;
+        }
+        let key = format!("{}.{}", f.struct_name, f.field);
+        if !declared.contains(&key) {
+            findings.push(Finding {
+                rule: "shared-state",
+                fn_path: key.clone(),
+                file: f.file.clone(),
+                line: f.line,
+                msg: format!(
+                    "shared-state field `{key}: {}` is not in {MANIFEST_PATH}; declare its \
+                     ordering or remove it",
+                    f.type_text
+                ),
+            });
+        }
+    }
+    for entry in &declared {
+        let found = ws.shared_fields.iter().any(|f| {
+            f.file.starts_with(EXEC_PREFIX) && format!("{}.{}", f.struct_name, f.field) == *entry
+        });
+        if !found {
+            findings.push(Finding {
+                rule: "shared-state",
+                fn_path: entry.clone(),
+                file: MANIFEST_PATH.to_string(),
+                line: 0,
+                msg: "manifest entry matches no shared-state field under \
+                      crates/core/src/exec/ — stale declaration"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec_ws() -> Workspace {
+        let mut ws = Workspace::default();
+        ws.parse_file(
+            "crates/core/src/exec/scheduler.rs",
+            "//! d\npub struct Scheduler {\n  cursor: AtomicUsize,\n  stop: AtomicBool,\n  threads: usize,\n}\n",
+        );
+        ws.parse_file(
+            "crates/ccsr/src/csr.rs",
+            "//! d\npub struct Outside { cell: Arc<AtomicU64> }\n",
+        );
+        ws
+    }
+
+    #[test]
+    fn undeclared_fields_are_flagged() {
+        let findings = run(&exec_ws(), Some("Scheduler.cursor — claim order first\n"));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].fn_path, "Scheduler.stop");
+    }
+
+    #[test]
+    fn full_manifest_passes_and_ignores_non_exec_files() {
+        let manifest = "# order\nScheduler.cursor — claimed first\nScheduler.stop — then stop\n";
+        assert!(run(&exec_ws(), Some(manifest)).is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_flagged() {
+        let manifest = "Scheduler.cursor\nScheduler.stop\nScheduler.gone\n";
+        let findings = run(&exec_ws(), Some(manifest));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].fn_path, "Scheduler.gone");
+        assert_eq!(findings[0].file, MANIFEST_PATH);
+    }
+
+    #[test]
+    fn missing_manifest_flags_every_field() {
+        assert_eq!(run(&exec_ws(), None).len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Mini scheduler: the remaining certified entries, one reachable panic
+//! site (non-literal division), and shared-state fields for the manifest
+//! rule — one declared, one not, with one stale manifest entry.
+
+pub struct Scheduler {
+    cursor: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl Scheduler {
+    pub fn claim(&self) -> usize {
+        chunk(8, 2)
+    }
+
+    pub fn request_stop(&self) {}
+
+    pub fn stop_once(&self) {}
+
+    pub fn stopped(&self) -> bool {
+        false
+    }
+
+    pub fn deadline(&self) {}
+}
+
+pub fn run_parallel() {
+    count_parallel();
+}
+
+pub fn count_parallel() {
+    count_parallel_observed();
+}
+
+pub fn count_parallel_observed() {
+    collect_parallel();
+}
+
+pub fn collect_parallel() {
+    enumerate_parallel();
+}
+
+pub fn enumerate_parallel() {}
+
+/// Reachable from `Scheduler::claim`: dividing by a non-literal divisor
+/// is a panic site (divide-by-zero).
+fn chunk(n: usize, d: usize) -> usize {
+    n / d
+}

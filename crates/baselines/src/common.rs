@@ -84,17 +84,19 @@ pub fn pair_consistent(
 /// tie-breaking on top of the same rules.
 pub fn ri_order(p: &Graph) -> Vec<VertexId> {
     let n = p.n();
-    assert!(n > 0);
-    let neighbors: Vec<Vec<VertexId>> =
-        (0..n as VertexId).map(|u| undirected_neighbors(p, u)).collect();
+    // Pattern ids are `u32` by construction; saturate rather than panic.
+    let n32 = u32::try_from(n).unwrap_or(u32::MAX);
+    let neighbors: Vec<Vec<VertexId>> = (0..n32).map(|u| undirected_neighbors(p, u)).collect();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
-    let first = (0..n as VertexId).max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u))).unwrap();
+    let Some(first) = (0..n32).max_by_key(|&u| (p.degree(u), std::cmp::Reverse(u))) else {
+        return Vec::new(); // empty pattern
+    };
     order.push(first);
     placed[first as usize] = true;
     while order.len() < n {
         let mut best: Option<(VertexId, [usize; 3])> = None;
-        for x in 0..n as VertexId {
+        for x in 0..n32 {
             if placed[x as usize] {
                 continue;
             }
@@ -116,7 +118,9 @@ pub fn ri_order(p: &Graph) -> Vec<VertexId> {
                 best = Some((x, t));
             }
         }
-        let (x, _) = best.unwrap();
+        let Some((x, _)) = best else {
+            break; // unreachable: an unplaced vertex always exists here
+        };
         order.push(x);
         placed[x as usize] = true;
     }

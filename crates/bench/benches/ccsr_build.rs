@@ -25,9 +25,9 @@ fn bench_build(c: &mut Criterion) {
 fn bench_persist(c: &mut Criterion) {
     let mut group = c.benchmark_group("ccsr_persist");
     let g = chung_lu(5_000, 22_000, 2.5, 20, 0, false, 1);
-    let gc = build_ccsr(&g);
+    let gc = build_ccsr(&g).unwrap();
     group.bench_function("encode", |b| b.iter(|| persist::to_bytes(std::hint::black_box(&gc))));
-    let bytes = persist::to_bytes(&gc);
+    let bytes = persist::to_bytes(&gc).unwrap();
     group.bench_function("decode", |b| {
         b.iter_batched(
             || bytes.clone(),

@@ -43,7 +43,7 @@ fn bench_row_lookup(c: &mut Criterion) {
     // One CSR over 100k vertices with ~500k arcs.
     let pairs: Vec<(u32, u32)> =
         (0..500_000u32).map(|i| (i % 100_000, i.wrapping_mul(2654435761) % 100_000)).collect();
-    let csr = Csr::from_pairs(100_000, pairs);
+    let csr = Csr::from_pairs(100_000, pairs).unwrap();
     group.bench_function("csr_row_access_constant_time", |b| {
         b.iter(|| {
             let mut acc = 0usize;

@@ -12,7 +12,7 @@ fn bench_planning(c: &mut Criterion) {
     let mut group = c.benchmark_group("planning");
     group.sample_size(20);
     let g = chung_lu(10_000, 44_000, 2.6, 50, 0, false, 5);
-    let gc = build_ccsr(&g);
+    let gc = build_ccsr(&g).unwrap();
     let mut sampler = PatternSampler::new(&g, 13);
     for size in [8usize, 64, 256] {
         let Some(sp) = sampler.sample(size, Density::Sparse) else { continue };

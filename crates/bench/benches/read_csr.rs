@@ -12,7 +12,7 @@ fn bench_read(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_csr");
     for labels in [20u32, 200] {
         let g = chung_lu(10_000, 44_000, 2.6, labels, 0, false, 7);
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let mut sampler = PatternSampler::new(&g, 11);
         for size in [8usize, 32] {
             let Some(sp) = sampler.sample(size, Density::Sparse) else { continue };

@@ -24,7 +24,7 @@ fn main() {
     let mut t = Table::new(&["labels", "pattern", "read time", "clusters", "decoded bytes"]);
     for labels in [20u32, 200, 2000] {
         let g = randomize_vertex_labels(&base.graph, labels, 0xF11);
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let mut sampler = PatternSampler::new(&g, 0xF11);
         for &size in &sizes {
             let Some(sp) = sampler.sample(size, Density::Sparse) else {

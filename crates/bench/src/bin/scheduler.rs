@@ -61,7 +61,7 @@ fn main() {
     let repeats: usize =
         std::env::var("CSCE_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
     let g = barabasi_albert(2000, 4, 0, 42);
-    let gc = build_ccsr(&g);
+    let gc = build_ccsr(&g).unwrap();
     println!(
         "Scheduler — dynamic chunk claiming vs static round-robin \
          ({} threads, best of {repeats}, BA n={} m={})\n",

@@ -10,6 +10,7 @@ use crate::cluster::Cluster;
 use crate::compress::CompressedCsr;
 use crate::csr::Csr;
 use crate::key::ClusterKey;
+use crate::CcsrError;
 use csce_graph::{FxHashMap, Graph, Label, VertexId};
 
 /// The set of all clustered CSRs of a data graph — the paper's `G_C`.
@@ -26,8 +27,11 @@ pub struct Ccsr {
 }
 
 /// Cluster all edges of `g` into CCSR form (the offline stage of Fig. 2).
-pub fn build_ccsr(g: &Graph) -> Ccsr {
+/// Fails with [`CcsrError::Overflow`] when the graph exceeds the 32-bit
+/// budgets of the CCSR layout (vertex ids, per-cluster arc counts).
+pub fn build_ccsr(g: &Graph) -> Result<Ccsr, CcsrError> {
     let n = g.n();
+    let n32 = u32::try_from(n).map_err(|_| CcsrError::Overflow { what: "vertex count" })?;
     // Route each arc to its cluster: O(|E|).
     let mut out_pairs: FxHashMap<ClusterKey, Vec<(VertexId, VertexId)>> = FxHashMap::default();
     let mut in_pairs: FxHashMap<ClusterKey, Vec<(VertexId, VertexId)>> = FxHashMap::default();
@@ -45,9 +49,11 @@ pub fn build_ccsr(g: &Graph) -> Ccsr {
     // Build + compress per-cluster CSRs (sorting happens inside from_pairs).
     let mut clusters: FxHashMap<ClusterKey, Cluster> = FxHashMap::default();
     for (key, pairs) in out_pairs {
-        let out = CompressedCsr::compress(&Csr::from_pairs(n, pairs));
-        let inc =
-            in_pairs.remove(&key).map(|pairs| CompressedCsr::compress(&Csr::from_pairs(n, pairs)));
+        let out = CompressedCsr::compress(&Csr::from_pairs(n, pairs)?);
+        let inc = match in_pairs.remove(&key) {
+            Some(pairs) => Some(CompressedCsr::compress(&Csr::from_pairs(n, pairs)?)),
+            None => None,
+        };
         clusters.insert(key, Cluster { key, out, inc });
     }
     let mut pair_index: FxHashMap<(Label, Label), Vec<ClusterKey>> = FxHashMap::default();
@@ -68,13 +74,13 @@ pub fn build_ccsr(g: &Graph) -> Ccsr {
         }),
         "clusters must be direction-consistent with canonical undirected keys"
     );
-    Ccsr {
-        n: n as u32,
+    Ok(Ccsr {
+        n: n32,
         vertex_labels: g.labels().to_vec(),
         label_freq: g.label_frequency().clone(),
         clusters,
         pair_index,
-    }
+    })
 }
 
 impl Ccsr {
@@ -211,7 +217,7 @@ mod tests {
     #[test]
     fn clusters_partition_edges() {
         let g = fig1_data_graph();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let total_edges: usize = gc.clusters().map(|c| c.edge_count()).sum();
         assert_eq!(total_edges, g.m());
         assert_eq!(gc.total_ic_len(), 2 * g.m());
@@ -221,7 +227,7 @@ mod tests {
     #[test]
     fn fig4_ab_cluster_contents() {
         let g = fig1_data_graph();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let key = ClusterKey::directed(0, 1, NO_LABEL);
         let d = gc.cluster(&key).expect("(A,B,NULL) cluster exists").decode();
         // v1 (id 0) has outgoing neighbors v2, v6 (ids 1, 5) in the cluster.
@@ -238,7 +244,7 @@ mod tests {
         b.add_edge(0, 1, NO_LABEL).unwrap();
         b.add_undirected_edge(1, 2, NO_LABEL).unwrap();
         b.add_undirected_edge(3, 4, NO_LABEL).unwrap();
-        let gc = build_ccsr(&b.build());
+        let gc = build_ccsr(&b.build()).unwrap();
         assert_eq!(gc.cluster_count(), 2); // one directed, one undirected
     }
 
@@ -248,7 +254,7 @@ mod tests {
         b.add_vertex(0);
         b.add_vertex(1);
         b.add_undirected_edge(0, 1, 9).unwrap();
-        let gc = build_ccsr(&b.build());
+        let gc = build_ccsr(&b.build()).unwrap();
         let key = ClusterKey::undirected(0, 1, 9);
         let d = gc.cluster(&key).unwrap().decode();
         assert_eq!(d.out_neighbors(0), &[1]);
@@ -262,7 +268,7 @@ mod tests {
         b.add_unlabeled_vertices(3);
         b.add_edge(0, 1, 1).unwrap();
         b.add_edge(0, 2, 2).unwrap();
-        let gc = build_ccsr(&b.build());
+        let gc = build_ccsr(&b.build()).unwrap();
         assert_eq!(gc.cluster_count(), 2);
         assert!(gc.cluster(&ClusterKey::directed(NO_LABEL, NO_LABEL, 1)).is_some());
         assert!(gc.cluster(&ClusterKey::directed(NO_LABEL, NO_LABEL, 2)).is_some());
@@ -276,7 +282,7 @@ mod tests {
         b.add_vertex(0);
         b.add_edge(0, 1, NO_LABEL).unwrap(); // (0,1) directed
         b.add_edge(1, 2, NO_LABEL).unwrap(); // (1,0) directed the other way
-        let gc = build_ccsr(&b.build());
+        let gc = build_ccsr(&b.build()).unwrap();
         let keys = gc.negation_keys(1, 0);
         assert_eq!(keys.len(), 2);
         assert!(keys.contains(&ClusterKey::directed(0, 1, NO_LABEL)));
@@ -287,7 +293,7 @@ mod tests {
     #[test]
     fn labels_survive_without_graph() {
         let g = fig1_data_graph();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         for v in 0..g.n() as u32 {
             assert_eq!(gc.vertex_label(v), g.label(v));
         }

@@ -107,8 +107,8 @@ mod tests {
 
     fn directed_cluster() -> Cluster {
         // Arcs: 0->1, 0->5, 3->4 over 6 vertices.
-        let out = Csr::from_pairs(6, vec![(0, 1), (0, 5), (3, 4)]);
-        let inc = Csr::from_pairs(6, vec![(1, 0), (5, 0), (4, 3)]);
+        let out = Csr::from_pairs(6, vec![(0, 1), (0, 5), (3, 4)]).unwrap();
+        let inc = Csr::from_pairs(6, vec![(1, 0), (5, 0), (4, 3)]).unwrap();
         Cluster {
             key: ClusterKey::directed(0, 1, NO_LABEL),
             out: CompressedCsr::compress(&out),
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn undirected_cluster_serves_both_directions() {
         // Undirected edges {0,1} and {1,2}: stored as 4 arcs in one CSR.
-        let out = Csr::from_pairs(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let out = Csr::from_pairs(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
         let c = Cluster {
             key: ClusterKey::undirected(0, 0, NO_LABEL),
             out: CompressedCsr::compress(&out),

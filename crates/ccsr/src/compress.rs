@@ -79,7 +79,7 @@ impl CompressedCsr {
             }
             prev = Some(value);
         }
-        if runs.last().unwrap().0 as usize != neighbors.len() {
+        if runs.last()?.0 as usize != neighbors.len() {
             return None;
         }
         Some(CompressedCsr { runs, neighbors })
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn roundtrip_sparse_cluster() {
         // Mostly-empty rows compress into few runs.
-        let csr = Csr::from_pairs(1000, vec![(5, 1), (5, 2), (900, 3)]);
+        let csr = Csr::from_pairs(1000, vec![(5, 1), (5, 2), (900, 3)]).unwrap();
         let c = CompressedCsr::compress(&csr);
         assert_eq!(c.decompress(), csr);
         // Runs: 0 x6, 2 x895, 3 x100 => 3 runs, 6 integers.
@@ -110,14 +110,14 @@ mod tests {
     #[test]
     fn roundtrip_dense_cluster() {
         let pairs: Vec<(u32, u32)> = (0..50u32).flat_map(|r| [(r, r + 1), (r, r + 2)]).collect();
-        let csr = Csr::from_pairs(53, pairs);
+        let csr = Csr::from_pairs(53, pairs).unwrap();
         let c = CompressedCsr::compress(&csr);
         assert_eq!(c.decompress(), csr);
     }
 
     #[test]
     fn roundtrip_empty() {
-        let csr = Csr::from_pairs(10, vec![]);
+        let csr = Csr::from_pairs(10, vec![]).unwrap();
         let c = CompressedCsr::compress(&csr);
         assert_eq!(c.decompress(), csr);
         assert_eq!(c.compressed_ir_len(), 2); // single run of zeros
@@ -145,7 +145,7 @@ mod tests {
         // possible, runs = n + 1 with n = arcs. Bound 2*(n+1) <= 4n holds
         // for n >= 1.
         let pairs: Vec<(u32, u32)> = (0..100u32).map(|r| (r, (r + 1) % 100)).collect();
-        let csr = Csr::from_pairs(100, pairs);
+        let csr = Csr::from_pairs(100, pairs).unwrap();
         let c = CompressedCsr::compress(&csr);
         assert!(c.compressed_ir_len() <= 4 * c.arc_count());
     }

@@ -6,6 +6,7 @@
 //! sorted-set intersection, and lookup of a vertex's row is O(1) — the
 //! advantage over adjacency lists and sort tries called out in §IV.
 
+use crate::CcsrError;
 use csce_graph::VertexId;
 
 /// A standard CSR over `n` vertices.
@@ -17,31 +18,38 @@ pub struct Csr {
 
 impl Csr {
     /// Build from per-edge `(row, neighbor)` pairs over `n` vertices.
-    /// Pairs may arrive in any order; rows end up sorted.
-    pub fn from_pairs(n: usize, mut pairs: Vec<(VertexId, VertexId)>) -> Csr {
+    /// Pairs may arrive in any order; rows end up sorted. Fails with
+    /// [`CcsrError::Overflow`] when the cluster holds more than `u32::MAX`
+    /// arcs — the `I_R` offsets are 32-bit.
+    pub fn from_pairs(n: usize, mut pairs: Vec<(VertexId, VertexId)>) -> Result<Csr, CcsrError> {
+        let arcs = u32::try_from(pairs.len())
+            .map_err(|_| CcsrError::Overflow { what: "cluster arc count" })?;
         pairs.sort_unstable();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(pairs.len());
         offsets.push(0);
         let mut row = 0u32;
+        let mut len = 0u32;
         for (r, c) in pairs {
             debug_assert!((r as usize) < n, "row out of range");
             while row < r {
-                offsets.push(neighbors.len() as u32);
+                offsets.push(len);
                 row += 1;
             }
             neighbors.push(c);
+            len += 1;
         }
+        debug_assert_eq!(len, arcs);
         while offsets.len() < n + 1 {
-            offsets.push(neighbors.len() as u32);
+            offsets.push(arcs);
         }
-        Csr { offsets, neighbors }
+        Ok(Csr { offsets, neighbors })
     }
 
     /// Construct directly from raw arrays (used by decompression).
     pub(crate) fn from_raw(offsets: Vec<u32>, neighbors: Vec<u32>) -> Csr {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert_eq!(offsets.last().map_or(0, |&o| o as usize), neighbors.len());
         Csr { offsets, neighbors }
     }
 
@@ -81,7 +89,9 @@ impl Csr {
     /// Vertices with at least one arc, ascending. These are the candidate
     /// seeds for the first pattern vertex of a plan.
     pub fn nonempty_rows(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.row_count() as VertexId).filter(move |&v| self.row_len(v) > 0)
+        // Row counts fit `u32` by construction (`from_pairs` checks).
+        let rows = u32::try_from(self.row_count()).unwrap_or(u32::MAX);
+        (0..rows).filter(move |&v| self.row_len(v) > 0)
     }
 
     /// Raw offsets (`I_R`), for compression.
@@ -110,7 +120,7 @@ mod tests {
     fn from_pairs_builds_fig4_left_cluster() {
         // Paper Fig. 4 left: (A,B,NULL) outgoing CSR of G in Fig. 1:
         // v1 -> v2, v6; v4 -> v5. Vertices are 0-based here.
-        let csr = Csr::from_pairs(10, vec![(0, 1), (0, 5), (3, 4)]);
+        let csr = Csr::from_pairs(10, vec![(0, 1), (0, 5), (3, 4)]).unwrap();
         assert_eq!(csr.row(0), &[1, 5]);
         assert_eq!(csr.row(3), &[4]);
         assert_eq!(csr.row(1), &[] as &[u32]);
@@ -120,14 +130,14 @@ mod tests {
 
     #[test]
     fn unsorted_input_rows_get_sorted() {
-        let csr = Csr::from_pairs(4, vec![(2, 3), (0, 2), (0, 1), (2, 0)]);
+        let csr = Csr::from_pairs(4, vec![(2, 3), (0, 2), (0, 1), (2, 0)]).unwrap();
         assert_eq!(csr.row(0), &[1, 2]);
         assert_eq!(csr.row(2), &[0, 3]);
     }
 
     #[test]
     fn contains_and_lens() {
-        let csr = Csr::from_pairs(3, vec![(0, 1), (0, 2), (1, 0)]);
+        let csr = Csr::from_pairs(3, vec![(0, 1), (0, 2), (1, 0)]).unwrap();
         assert!(csr.contains(0, 2));
         assert!(!csr.contains(0, 0));
         assert!(!csr.contains(2, 0));
@@ -137,14 +147,14 @@ mod tests {
 
     #[test]
     fn nonempty_rows_are_seed_candidates() {
-        let csr = Csr::from_pairs(5, vec![(1, 0), (4, 2)]);
+        let csr = Csr::from_pairs(5, vec![(1, 0), (4, 2)]).unwrap();
         let seeds: Vec<u32> = csr.nonempty_rows().collect();
         assert_eq!(seeds, vec![1, 4]);
     }
 
     #[test]
     fn empty_csr() {
-        let csr = Csr::from_pairs(3, vec![]);
+        let csr = Csr::from_pairs(3, vec![]).unwrap();
         assert_eq!(csr.arc_count(), 0);
         assert_eq!(csr.nonempty_rows().count(), 0);
         assert_eq!(csr.row(2), &[] as &[u32]);

@@ -22,6 +22,33 @@
 
 #![forbid(unsafe_code)]
 
+/// Errors raised while building or encoding a `G_C`.
+///
+/// The CCSR layout (and its on-disk format) stores vertex ids, arc
+/// counts, run counts, and cluster counts as `u32`; a data graph that
+/// overflows any of those budgets is reported instead of silently
+/// truncated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcsrError {
+    /// A count exceeded the 32-bit budget; `what` names the counter.
+    Overflow {
+        /// The counter that overflowed (e.g. `"vertex count"`).
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CcsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcsrError::Overflow { what } => {
+                write!(f, "{what} exceeds the 32-bit CCSR budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcsrError {}
+
 pub mod build;
 pub mod cluster;
 pub mod compress;

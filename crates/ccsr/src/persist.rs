@@ -10,16 +10,19 @@ use crate::build::Ccsr;
 use crate::cluster::Cluster;
 use crate::compress::CompressedCsr;
 use crate::key::ClusterKey;
+use crate::CcsrError;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"CSCEGC1\0";
 
-/// Errors raised when decoding a persisted `G_C`.
+/// Errors raised when encoding or decoding a persisted `G_C`.
 #[derive(Debug)]
 pub enum PersistError {
     Io(std::io::Error),
     /// The byte stream is not a valid CCSR file.
     Corrupt(&'static str),
+    /// The in-memory `G_C` exceeds the format's 32-bit counters.
+    Encode(CcsrError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt ccsr file: {msg}"),
+            PersistError::Encode(e) => write!(f, "cannot encode ccsr: {e}"),
         }
     }
 }
@@ -39,9 +43,20 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+impl From<CcsrError> for PersistError {
+    fn from(e: CcsrError) -> Self {
+        PersistError::Encode(e)
+    }
+}
+
 #[inline]
 fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Checked narrowing for the format's `u32` counters.
+fn counter_u32(v: usize, what: &'static str) -> Result<u32, CcsrError> {
+    u32::try_from(v).map_err(|_| CcsrError::Overflow { what })
 }
 
 /// Split `n` bytes off the front of the cursor, or fail cleanly with the
@@ -70,16 +85,17 @@ fn read_u8(buf: &mut &[u8], what: &'static str) -> Result<u8, PersistError> {
     Ok(take(buf, 1, what)?[0])
 }
 
-fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) {
-    put_u32_le(buf, c.runs().len() as u32);
+fn put_compressed(buf: &mut Vec<u8>, c: &CompressedCsr) -> Result<(), CcsrError> {
+    put_u32_le(buf, counter_u32(c.runs().len(), "run count")?);
     for &(value, count) in c.runs() {
         put_u32_le(buf, value);
         put_u32_le(buf, count);
     }
-    put_u32_le(buf, c.neighbors().len() as u32);
+    put_u32_le(buf, counter_u32(c.neighbors().len(), "neighbor count")?);
     for &x in c.neighbors() {
         put_u32_le(buf, x);
     }
+    Ok(())
 }
 
 fn get_compressed(buf: &mut &[u8]) -> Result<CompressedCsr, PersistError> {
@@ -101,32 +117,33 @@ fn get_compressed(buf: &mut &[u8]) -> Result<CompressedCsr, PersistError> {
         .ok_or(PersistError::Corrupt("invalid compressed row index"))
 }
 
-/// Encode a `G_C` into bytes.
-pub fn to_bytes(ccsr: &Ccsr) -> Vec<u8> {
+/// Encode a `G_C` into bytes. Fails with [`CcsrError::Overflow`] when a
+/// counter exceeds the format's 32-bit fields.
+pub fn to_bytes(ccsr: &Ccsr) -> Result<Vec<u8>, CcsrError> {
     let mut buf = Vec::with_capacity(64 + ccsr.heap_bytes());
     buf.extend_from_slice(MAGIC);
-    put_u32_le(&mut buf, ccsr.n() as u32);
+    put_u32_le(&mut buf, counter_u32(ccsr.n(), "vertex count")?);
     for &l in ccsr.vertex_labels() {
         put_u32_le(&mut buf, l);
     }
     let mut clusters: Vec<&Cluster> = ccsr.clusters().collect();
     clusters.sort_unstable_by_key(|c| c.key);
-    put_u32_le(&mut buf, clusters.len() as u32);
+    put_u32_le(&mut buf, counter_u32(clusters.len(), "cluster count")?);
     for c in clusters {
         put_u32_le(&mut buf, c.key.src_label);
         put_u32_le(&mut buf, c.key.dst_label);
         put_u32_le(&mut buf, c.key.edge_label);
-        buf.push(c.key.directed as u8);
-        put_compressed(&mut buf, &c.out);
+        buf.push(u8::from(c.key.directed));
+        put_compressed(&mut buf, &c.out)?;
         match &c.inc {
             Some(inc) => {
                 buf.push(1);
-                put_compressed(&mut buf, inc);
+                put_compressed(&mut buf, inc)?;
             }
             None => buf.push(0),
         }
     }
-    buf
+    Ok(buf)
 }
 
 /// Decode a `G_C` from bytes.
@@ -172,7 +189,7 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<Ccsr, PersistError> {
 
 /// Write a `G_C` to a file.
 pub fn save(ccsr: &Ccsr, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    std::fs::write(path, to_bytes(ccsr))?;
+    std::fs::write(path, to_bytes(ccsr)?)?;
     Ok(())
 }
 
@@ -195,7 +212,7 @@ mod tests {
         b.add_edge(0, 1, 7).unwrap();
         b.add_edge(3, 1, 7).unwrap();
         b.add_undirected_edge(2, 4, NO_LABEL).unwrap();
-        build_ccsr(&b.build())
+        build_ccsr(&b.build()).unwrap()
     }
 
     fn assert_same(a: &Ccsr, b: &Ccsr) {
@@ -212,7 +229,7 @@ mod tests {
     #[test]
     fn roundtrip_bytes() {
         let gc = sample_ccsr();
-        let bytes = to_bytes(&gc);
+        let bytes = to_bytes(&gc).unwrap();
         let back = from_bytes(&bytes).unwrap();
         assert_same(&gc, &back);
         assert_eq!(back.negation_keys(0, 1).len(), gc.negation_keys(0, 1).len());
@@ -233,11 +250,11 @@ mod tests {
     #[test]
     fn rejects_corruption() {
         let gc = sample_ccsr();
-        let mut bytes = to_bytes(&gc);
+        let mut bytes = to_bytes(&gc).unwrap();
         assert!(from_bytes(&bytes[..4]).is_err(), "truncated magic");
         bytes[0] = b'X';
         assert!(from_bytes(&bytes).is_err(), "bad magic");
-        let bytes = to_bytes(&gc);
+        let bytes = to_bytes(&gc).unwrap();
         assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err(), "truncated body");
         let mut extended = bytes.clone();
         extended.push(0);
@@ -246,8 +263,8 @@ mod tests {
 
     #[test]
     fn empty_graph_roundtrips() {
-        let gc = build_ccsr(&GraphBuilder::new().build());
-        let back = from_bytes(&to_bytes(&gc)).unwrap();
+        let gc = build_ccsr(&GraphBuilder::new().build()).unwrap();
+        let back = from_bytes(&to_bytes(&gc).unwrap()).unwrap();
         assert_eq!(back.n(), 0);
         assert_eq!(back.cluster_count(), 0);
     }

@@ -67,9 +67,10 @@ pub fn read_csr<'a>(ccsr: &'a Ccsr, p: &Graph, variant: Variant) -> GcStar<'a> {
         // pair's labels: unconnected pairs for negation, and connected
         // pairs to reject candidates carrying extra arcs (e.g. an
         // antiparallel data arc the pattern does not have).
-        let n = p.n();
-        for a in 0..n as u32 {
-            for b in a + 1..n as u32 {
+        // Pattern vertex counts are tiny; ids are `u32` by construction.
+        let n = u32::try_from(p.n()).unwrap_or(u32::MAX);
+        for a in 0..n {
+            for b in a + 1..n {
                 for key in ccsr.negation_keys(p.label(a), p.label(b)) {
                     load(*key, &mut clusters);
                 }
@@ -149,7 +150,7 @@ mod tests {
         b.add_edge(v0, v2, NO_LABEL).unwrap();
         b.add_edge(v1, v2, NO_LABEL).unwrap();
         b.add_edge(v3, v2, NO_LABEL).unwrap();
-        build_ccsr(&b.build())
+        build_ccsr(&b.build()).unwrap()
     }
 
     fn pattern_edge_01() -> Graph {

@@ -86,7 +86,7 @@ mod tests {
         b.add_edge(0, 1, NO_LABEL).unwrap(); // (0,1) directed
         b.add_edge(2, 3, NO_LABEL).unwrap(); // same cluster
         b.add_undirected_edge(1, 3, NO_LABEL).unwrap(); // (1,1) undirected
-        let gc = build_ccsr(&b.build());
+        let gc = build_ccsr(&b.build()).unwrap();
         let s = CcsrStats::of(&gc);
         assert_eq!(s.cluster_count, 2);
         assert_eq!(s.edge_count, 3);
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn compression_wins_with_many_labels() {
         let g = chung_lu(2000, 8000, 2.5, 100, 0, false, 3);
-        let s = CcsrStats::of(&build_ccsr(&g));
+        let s = CcsrStats::of(&build_ccsr(&g).unwrap());
         assert!(
             s.ir_compression_ratio() > 5.0,
             "many small clusters compress well, got {:.1}x",

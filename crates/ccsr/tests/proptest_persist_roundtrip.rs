@@ -61,8 +61,8 @@ fn expected_arcs(g: &Graph) -> (ArcsByKey, ArcsByKey) {
 }
 
 fn assert_roundtrip(g: &Graph) {
-    let gc = build_ccsr(g);
-    let loaded = persist::from_bytes(&persist::to_bytes(&gc)).expect("roundtrip decodes");
+    let gc = build_ccsr(g).unwrap();
+    let loaded = persist::from_bytes(&persist::to_bytes(&gc).unwrap()).expect("roundtrip decodes");
     prop_assert_eq!(loaded.n(), g.n());
     prop_assert_eq!(loaded.vertex_labels(), g.labels());
 
@@ -70,12 +70,12 @@ fn assert_roundtrip(g: &Graph) {
     prop_assert_eq!(loaded.cluster_count(), out.len());
     for (key, pairs) in &out {
         let cluster = loaded.cluster(key).expect("cluster survives persistence");
-        let direct = Csr::from_pairs(g.n(), pairs.clone());
+        let direct = Csr::from_pairs(g.n(), pairs.clone()).unwrap();
         prop_assert_eq!(&cluster.out.decompress(), &direct, "out csr for {:?}", key);
         match inc.get(key) {
             Some(pairs) => {
                 let inc_csr = cluster.inc.as_ref().expect("directed cluster has inc");
-                let direct = Csr::from_pairs(g.n(), pairs.clone());
+                let direct = Csr::from_pairs(g.n(), pairs.clone()).unwrap();
                 prop_assert_eq!(&inc_csr.decompress(), &direct, "inc csr for {:?}", key);
             }
             None => prop_assert!(cluster.inc.is_none(), "undirected cluster has no inc"),

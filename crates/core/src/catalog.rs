@@ -256,7 +256,7 @@ mod tests {
     fn extend_rows_follow_direction() {
         let g = data();
         let p = pattern();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let cat = Catalog::new(&p, &star);
         // Edge 0 is u0->u1 (A->B cluster). From the source v0:
@@ -272,7 +272,7 @@ mod tests {
     fn cluster_sizes_feed_tiebreaks() {
         let g = data();
         let p = pattern();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let cat = Catalog::new(&p, &star);
         assert_eq!(cat.cluster_size(0), 3); // three A->B arcs
@@ -285,7 +285,7 @@ mod tests {
     fn seeds_intersect_all_incident_relations() {
         let g = data();
         let p = pattern();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let cat = Catalog::new(&p, &star);
         // u1 (B) must appear as destination of an A->B arc and as an
@@ -305,7 +305,7 @@ mod tests {
         b.add_vertex(1);
         b.add_edge(0, 1, NO_LABEL).unwrap();
         let p = b.build();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let cat = Catalog::new(&p, &star);
         assert_eq!(cat.cluster_size(0), 0);
@@ -328,7 +328,7 @@ mod tests {
         pb.add_vertex(1);
         pb.add_undirected_edge(0, 1, NO_LABEL).unwrap();
         let p = pb.build();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let cat = Catalog::new(&p, &star);
         assert_eq!(cat.seeds(0), vec![0, 2], "A-side seeds");

@@ -79,7 +79,7 @@ mod tests {
     use std::time::Duration;
 
     fn run(g: &Graph, p: &Graph, variant: Variant, config: RunConfig) -> (u64, ExecStats) {
-        let gc: Ccsr = build_ccsr(g);
+        let gc: Ccsr = build_ccsr(g).unwrap();
         let star = read_csr(&gc, p, variant);
         let catalog = Catalog::new(p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
@@ -182,7 +182,7 @@ mod tests {
     fn enumerate_agrees_with_count_and_can_stop() {
         let g = paw();
         let p = path3();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
@@ -212,7 +212,7 @@ mod tests {
     fn sinks_drive_the_same_search() {
         let g = paw();
         let p = path3();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
@@ -258,7 +258,7 @@ mod tests {
         let mut pb = GraphBuilder::new();
         b_chain(&mut pb, 9);
         let p = pb.build();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::Homomorphic);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::Homomorphic);
@@ -289,7 +289,7 @@ mod tests {
             pb.add_undirected_edge(a, b, NO_LABEL).unwrap();
         }
         let p = pb.build();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
@@ -316,7 +316,7 @@ mod tests {
         let mut pb = GraphBuilder::new();
         b_chain(&mut pb, 5);
         let p = pb.build();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         for variant in Variant::ALL {
             let star = read_csr(&gc, &p, variant);
             let catalog = Catalog::new(&p, &star);
@@ -352,7 +352,7 @@ mod tests {
     fn root_partitions_sum_exactly() {
         let g = paw();
         let p = path3();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
@@ -375,7 +375,7 @@ mod tests {
         use std::sync::Arc;
         let g = paw();
         let p = path3();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);
@@ -402,7 +402,7 @@ mod tests {
     fn collect_parallel_matches_sequential_set() {
         let g = paw();
         let p = path3();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         for variant in Variant::ALL {
             let star = read_csr(&gc, &p, variant);
             let catalog = Catalog::new(&p, &star);

@@ -54,6 +54,8 @@ pub use exec::{
 };
 pub use plan::{Plan, Planner, PlannerConfig, SceAnalysis};
 
+pub use csce_ccsr::CcsrError;
+
 use csce_ccsr::{build_ccsr, read_csr, Ccsr, ReadStats};
 use csce_obs::Recorder;
 use std::sync::atomic::AtomicU64;
@@ -114,8 +116,18 @@ pub struct Engine {
 impl Engine {
     /// Offline stage: cluster a data graph into CCSR form. The graph
     /// itself is not retained (`G_C` is equivalent to `G`).
+    ///
+    /// # Panics
+    /// When the graph exceeds the 32-bit CCSR budgets (> `u32::MAX` arcs
+    /// in one cluster); use [`Engine::try_build`] to handle that case.
     pub fn build(g: &Graph) -> Engine {
-        Engine { ccsr: build_ccsr(g) }
+        Engine::try_build(g).expect("data graph exceeds the 32-bit CCSR budget")
+    }
+
+    /// Fallible [`Engine::build`]: surfaces [`CcsrError`] instead of
+    /// panicking when the data graph overflows the CCSR layout.
+    pub fn try_build(g: &Graph) -> Result<Engine, CcsrError> {
+        Ok(Engine { ccsr: build_ccsr(g)? })
     }
 
     /// Wrap an already-built (e.g. deserialized) `G_C`.
@@ -436,7 +448,7 @@ mod tests {
     fn persisted_ccsr_round_trips_through_engine() {
         let g = paw();
         let engine = Engine::build(&g);
-        let bytes = csce_ccsr::persist::to_bytes(engine.ccsr());
+        let bytes = csce_ccsr::persist::to_bytes(engine.ccsr()).unwrap();
         let engine2 = Engine::from_ccsr(csce_ccsr::persist::from_bytes(&bytes).unwrap());
         let mut pb = GraphBuilder::new();
         pb.add_unlabeled_vertices(3);

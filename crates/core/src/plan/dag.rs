@@ -219,7 +219,7 @@ mod tests {
     fn dag_for(variant: Variant) -> (Dag, Vec<VertexId>) {
         let p = fig1_pattern();
         let g = fig1_like_data();
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, variant);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = (0..8).collect(); // Φ1 = u1..u8

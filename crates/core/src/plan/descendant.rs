@@ -63,7 +63,7 @@ mod tests {
         }
         let p = b.build();
         // Data content is irrelevant for the edge-induced DAG; reuse P.
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = (0..8).collect();
@@ -107,7 +107,7 @@ mod tests {
             b.add_edge(s, d, NO_LABEL).unwrap();
         }
         let p = b.build();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = vec![0, 1, 2, 3];

@@ -74,7 +74,7 @@ mod tests {
         b.add_undirected_edge(0, 1, NO_LABEL).unwrap();
         b.add_undirected_edge(0, 2, NO_LABEL).unwrap();
         let p = b.build();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, Variant::EdgeInduced);

@@ -215,7 +215,7 @@ mod tests {
     }
 
     fn order_for(g: &Graph, p: &Graph, config: GcfConfig) -> Vec<VertexId> {
-        let gc = build_ccsr(g);
+        let gc = build_ccsr(g).unwrap();
         let star = read_csr(&gc, p, Variant::EdgeInduced);
         let catalog = Catalog::new(p, &star);
         gcf_order(&catalog, config)

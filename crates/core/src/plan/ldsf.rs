@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn produces_topological_order_of_h() {
         let p = fig1_pattern();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = (0..8).collect();
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn larger_descendants_come_first_among_ready() {
         let p = fig1_pattern();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = (0..8).collect();
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let p = fig1_pattern();
-        let gc = build_ccsr(&p);
+        let gc = build_ccsr(&p).unwrap();
         let star = read_csr(&gc, &p, Variant::EdgeInduced);
         let catalog = Catalog::new(&p, &star);
         let phi: Vec<VertexId> = (0..8).collect();

@@ -455,7 +455,7 @@ mod tests {
     }
 
     fn plan_for(p: &Graph, g: &Graph, variant: Variant, config: PlannerConfig) -> Plan {
-        let gc = build_ccsr(g);
+        let gc = build_ccsr(g).unwrap();
         let star = read_csr(&gc, p, variant);
         let catalog = Catalog::new(p, &star);
         Planner::new(config).plan(&catalog, variant)

@@ -4,16 +4,31 @@
 
 use csce_graph::{Graph, GraphBuilder, VertexId, NO_LABEL};
 
+/// Add undirected motif edges. Motif endpoints are constructed in range,
+/// so a rejected edge indicates a bug in the motif itself: debug-asserted,
+/// skipped in release rather than panicking.
+fn add_undirected(b: &mut GraphBuilder, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
+    for (x, y) in edges {
+        let added = b.add_undirected_edge(x, y, NO_LABEL);
+        debug_assert!(added.is_ok(), "motif edge ({x}, {y}) out of range");
+    }
+}
+
+/// Directed counterpart of [`add_undirected`].
+fn add_directed(b: &mut GraphBuilder, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
+    for (x, y) in edges {
+        let added = b.add_edge(x, y, NO_LABEL);
+        debug_assert!(added.is_ok(), "motif arc ({x}, {y}) out of range");
+    }
+}
+
 /// `K_k`: complete graph on `k` vertices.
 pub fn clique(k: usize) -> Graph {
     assert!(k >= 1);
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(k);
-    for i in 0..k as VertexId {
-        for j in i + 1..k as VertexId {
-            b.add_undirected_edge(i, j, NO_LABEL).unwrap();
-        }
-    }
+    let k = u32::try_from(k).unwrap_or(u32::MAX);
+    add_undirected(&mut b, (0..k).flat_map(|i| (i + 1..k).map(move |j| (i, j))));
     b.build()
 }
 
@@ -22,9 +37,8 @@ pub fn path(k: usize) -> Graph {
     assert!(k >= 2);
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(k);
-    for i in 0..k as VertexId - 1 {
-        b.add_undirected_edge(i, i + 1, NO_LABEL).unwrap();
-    }
+    let k = u32::try_from(k).unwrap_or(u32::MAX);
+    add_undirected(&mut b, (0..k - 1).map(|i| (i, i + 1)));
     b.build()
 }
 
@@ -33,9 +47,8 @@ pub fn cycle(k: usize) -> Graph {
     assert!(k >= 3);
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(k);
-    for i in 0..k as VertexId {
-        b.add_undirected_edge(i, (i + 1) % k as VertexId, NO_LABEL).unwrap();
-    }
+    let k = u32::try_from(k).unwrap_or(u32::MAX);
+    add_undirected(&mut b, (0..k).map(|i| (i, (i + 1) % k)));
     b.build()
 }
 
@@ -44,9 +57,8 @@ pub fn star(leaves: usize) -> Graph {
     assert!(leaves >= 1);
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(leaves + 1);
-    for leaf in 1..=leaves as VertexId {
-        b.add_undirected_edge(0, leaf, NO_LABEL).unwrap();
-    }
+    let leaves = u32::try_from(leaves).unwrap_or(u32::MAX);
+    add_undirected(&mut b, (1..=leaves).map(|leaf| (0, leaf)));
     b.build()
 }
 
@@ -54,9 +66,7 @@ pub fn star(leaves: usize) -> Graph {
 pub fn diamond() -> Graph {
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(4);
-    for (x, y) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
-        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
-    }
+    add_undirected(&mut b, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
     b.build()
 }
 
@@ -64,9 +74,7 @@ pub fn diamond() -> Graph {
 pub fn paw() -> Graph {
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(4);
-    for (x, y) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
-        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
-    }
+    add_undirected(&mut b, [(0, 1), (1, 2), (2, 0), (2, 3)]);
     b.build()
 }
 
@@ -74,9 +82,7 @@ pub fn paw() -> Graph {
 pub fn house() -> Graph {
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(5);
-    for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)] {
-        b.add_undirected_edge(x, y, NO_LABEL).unwrap();
-    }
+    add_undirected(&mut b, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]);
     b.build()
 }
 
@@ -85,9 +91,7 @@ pub fn house() -> Graph {
 pub fn feed_forward_loop() -> Graph {
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(3);
-    b.add_edge(0, 1, NO_LABEL).unwrap();
-    b.add_edge(0, 2, NO_LABEL).unwrap();
-    b.add_edge(1, 2, NO_LABEL).unwrap();
+    add_directed(&mut b, [(0, 1), (0, 2), (1, 2)]);
     b.build()
 }
 
@@ -96,9 +100,7 @@ pub fn feed_forward_loop() -> Graph {
 pub fn bidirectional_chain() -> Graph {
     let mut b = GraphBuilder::new();
     b.add_unlabeled_vertices(3);
-    for (x, y) in [(0, 1), (1, 0), (1, 2), (2, 1)] {
-        b.add_edge(x, y, NO_LABEL).unwrap();
-    }
+    add_directed(&mut b, [(0, 1), (1, 0), (1, 2), (2, 1)]);
     b.build()
 }
 

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings \
 echo "==> csce-lint (source policy ratchet)"
 cargo run -q -p csce-analyze --bin csce-lint
 
+echo "==> csce-lint --static (call-graph panic-freedom certification)"
+cargo run -q -p csce-analyze --bin csce-lint -- --static
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

@@ -12,7 +12,7 @@ fn yeast_pipeline_all_variants() {
     let ds = presets::yeast();
     let engine = Engine::build(&ds.graph);
     // Round-trip the clustered form through persistence.
-    let bytes = csce::ccsr::persist::to_bytes(engine.ccsr());
+    let bytes = csce::ccsr::persist::to_bytes(engine.ccsr()).unwrap();
     let engine2 = Engine::from_ccsr(csce::ccsr::persist::from_bytes(&bytes).unwrap());
     let suites = sample_suite(&ds.graph, &[8], &[Density::Sparse, Density::Dense], 2, 1);
     for suite in &suites {

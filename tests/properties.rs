@@ -68,7 +68,7 @@ proptest! {
     ) {
         let pairs: Vec<(u32, u32)> =
             pairs.into_iter().map(|(r, c)| (r % n as u32, c)).collect();
-        let csr = Csr::from_pairs(n, pairs);
+        let csr = Csr::from_pairs(n, pairs).unwrap();
         let compressed = CompressedCsr::compress(&csr);
         prop_assert_eq!(compressed.decompress(), csr);
         // Paper bound: compressed I_R uses at most 2 integers per run and
@@ -80,7 +80,7 @@ proptest! {
     /// cluster, arc totals 2|E|.
     #[test]
     fn ccsr_is_an_edge_partition(g in arb_graph(20, 60, 3, false)) {
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let total_edges: usize = gc.clusters().map(|c| c.edge_count()).sum();
         prop_assert_eq!(total_edges, g.m());
         prop_assert_eq!(gc.total_ic_len(), 2 * g.m());
@@ -90,8 +90,8 @@ proptest! {
     /// Persistence round-trips the clustered graph.
     #[test]
     fn ccsr_persist_roundtrip(g in arb_graph(15, 40, 4, true)) {
-        let gc = build_ccsr(&g);
-        let back = persist::from_bytes(&persist::to_bytes(&gc)).unwrap();
+        let gc = build_ccsr(&g).unwrap();
+        let back = persist::from_bytes(&persist::to_bytes(&gc).unwrap()).unwrap();
         prop_assert_eq!(back.n(), gc.n());
         prop_assert_eq!(back.cluster_count(), gc.cluster_count());
         prop_assert_eq!(back.vertex_labels(), gc.vertex_labels());
@@ -110,7 +110,7 @@ proptest! {
         variant_idx in 0usize..3,
     ) {
         let variant = Variant::ALL[variant_idx];
-        let gc = build_ccsr(&g);
+        let gc = build_ccsr(&g).unwrap();
         let star = read_csr(&gc, &p, variant);
         let catalog = Catalog::new(&p, &star);
         let plan = Planner::new(PlannerConfig::csce()).plan(&catalog, variant);
